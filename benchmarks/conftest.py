@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one experiment from DESIGN.md / EXPERIMENTS.md:
+it computes the quantity the paper reports, prints a table comparing the
+paper's value with the reproduced value, and times the computation with
+pytest-benchmark.  Absolute agreement is not asserted tightly here (that
+is the test suite's job); benchmarks assert the qualitative shape so a
+regression that flips a conclusion fails the harness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_experiment(title: str, body: str) -> None:
+    """Print one experiment's output block with a recognisable banner."""
+    banner = "=" * 72
+    print(f"\n{banner}\n{title}\n{banner}\n{body}\n")
+
+
+@pytest.fixture
+def experiment_printer():
+    """Fixture handing benchmarks the experiment printer."""
+    return print_experiment

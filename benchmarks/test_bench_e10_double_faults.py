@@ -1,0 +1,83 @@
+"""Experiment E10: Figure 2 — the four double-fault combinations.
+
+The paper's Figure 2 lays out the 2x2 grid of first-fault/second-fault
+combinations that lose mirrored data.  This benchmark computes each
+combination's share of the double-fault rate from the analytic model and
+from Monte-Carlo simulation, and checks they identify the same dominant
+cell (latent-first combinations dominate when detection is slow).
+"""
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.core.faults import FaultType
+from repro.core.mttdl import double_fault_breakdown
+from repro.core.parameters import FaultModel
+from repro.simulation.monte_carlo import double_fault_combination_counts
+
+#: Compressed-time model (same structure as the Cheetah scenario: latent
+#: faults five times as frequent, scrubbing far slower than repair).
+FAST_MODEL = FaultModel(
+    mean_time_to_visible=2500.0,
+    mean_time_to_latent=500.0,
+    mean_repair_visible=1.0,
+    mean_repair_latent=1.0,
+    mean_detect_latent=100.0,
+    correlation_factor=1.0,
+)
+
+COMBINATIONS = [
+    (FaultType.VISIBLE, FaultType.VISIBLE),
+    (FaultType.VISIBLE, FaultType.LATENT),
+    (FaultType.LATENT, FaultType.VISIBLE),
+    (FaultType.LATENT, FaultType.LATENT),
+]
+
+
+def compute_double_fault_shares():
+    analytic = double_fault_breakdown(FAST_MODEL).fractions()
+    simulated_counts = double_fault_combination_counts(
+        FAST_MODEL, trials=150, seed=11, max_time=5e6
+    )
+    total = sum(simulated_counts.values()) or 1
+    simulated = {key: count / total for key, count in simulated_counts.items()}
+    return analytic, simulated, simulated_counts
+
+
+@pytest.mark.benchmark(group="e10 double faults")
+def test_bench_e10_double_fault_combinations(benchmark, experiment_printer):
+    analytic, simulated, counts = benchmark(compute_double_fault_shares)
+
+    rows = []
+    for first, second in COMBINATIONS:
+        rows.append(
+            [
+                f"{first.value} then {second.value}",
+                analytic[(first, second)],
+                simulated[(first, second)],
+                counts[(first, second)],
+            ]
+        )
+    experiment_printer(
+        "E10: Figure 2 — double-fault combinations, analytic vs simulated",
+        format_table(
+            ["combination", "analytic share", "simulated share", "simulated losses"],
+            rows,
+        ),
+    )
+
+    # Both views agree that windows opened by latent faults dominate.
+    analytic_latent_first = (
+        analytic[(FaultType.LATENT, FaultType.VISIBLE)]
+        + analytic[(FaultType.LATENT, FaultType.LATENT)]
+    )
+    simulated_latent_first = (
+        simulated[(FaultType.LATENT, FaultType.VISIBLE)]
+        + simulated[(FaultType.LATENT, FaultType.LATENT)]
+    )
+    assert analytic_latent_first > 0.6
+    assert simulated_latent_first > 0.6
+    # And within those windows, latent second faults are the most common
+    # finisher (ML < MV).
+    assert analytic[(FaultType.LATENT, FaultType.LATENT)] == max(analytic.values())
+    assert sum(counts.values()) > 30

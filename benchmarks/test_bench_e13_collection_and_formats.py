@@ -1,0 +1,127 @@
+"""Experiment E13 (extension): collection-scale losses and format risk.
+
+The paper argues two collection-level points without working the
+numbers: (a) archival objects are accessed far too rarely for
+access-triggered checking to protect them, and (b) the same
+detect-early/repair-fast logic applies one layer up to format
+obsolescence.  This extension experiment quantifies both with the
+collection and migration models built on top of the core machinery.
+"""
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.core.migration import (
+    CAMERA_RAW,
+    OPEN_DOCUMENT_FORMAT,
+    probability_uninterpretable,
+    proprietary_penalty,
+)
+from repro.core.parameters import FaultModel
+from repro.core.units import HOURS_PER_YEAR
+from repro.storage.archive import (
+    ArchiveCollection,
+    access_based_detection_is_sufficient,
+    collection_reliability,
+)
+
+COLLECTION = ArchiveCollection(
+    object_count=10_000_000,
+    mean_object_size_mb=2.0,
+    accesses_per_object_year=0.05,
+    replicas=2,
+)
+
+OBJECT_MODEL = FaultModel(
+    mean_time_to_visible=1.4e6,
+    mean_time_to_latent=2.8e5,
+    mean_repair_visible=1.0 / 3.0,
+    mean_repair_latent=1.0 / 3.0,
+    mean_detect_latent=1460.0,
+    correlation_factor=1.0,
+)
+
+AUDIT_POLICIES = [
+    ("never audited", 0.0),
+    ("on user access only", None),
+    ("audited yearly", 1.0),
+    ("audited 3x/year", 3.0),
+    ("audited monthly", 12.0),
+]
+
+
+def compute_collection_losses():
+    results = {}
+    for label, audits_per_year in AUDIT_POLICIES:
+        if audits_per_year is None:
+            mdl = COLLECTION.mean_access_interval_hours
+        elif audits_per_year == 0.0:
+            mdl = OBJECT_MODEL.mean_time_to_latent
+        else:
+            mdl = HOURS_PER_YEAR / audits_per_year / 2.0
+        mdl = min(mdl, OBJECT_MODEL.mean_time_to_latent)
+        reliability = collection_reliability(
+            COLLECTION, OBJECT_MODEL.with_detection_time(mdl)
+        )
+        results[label] = reliability
+    return results
+
+
+@pytest.mark.benchmark(group="e13 collection")
+def test_bench_e13_collection_losses(benchmark, experiment_printer):
+    results = benchmark(compute_collection_losses)
+
+    rows = [
+        [
+            label,
+            reliability.per_object_loss_probability,
+            reliability.expected_objects_lost,
+        ]
+        for label, reliability in results.items()
+    ]
+    experiment_printer(
+        "E13: expected 50-year object losses in a 10M-object archive",
+        format_table(
+            ["audit policy", "P(object lost)", "expected objects lost"], rows
+        ),
+    )
+
+    # Access-triggered checking is barely better than never auditing, and
+    # orders of magnitude worse than modest proactive scrubbing.
+    never = results["never audited"].expected_objects_lost
+    on_access = results["on user access only"].expected_objects_lost
+    scrubbed = results["audited 3x/year"].expected_objects_lost
+    assert on_access > 0.5 * never
+    assert scrubbed < on_access / 10.0
+    assert not access_based_detection_is_sufficient(COLLECTION, OBJECT_MODEL)
+
+
+@pytest.mark.benchmark(group="e13 collection")
+def test_bench_e13_format_risk(benchmark, experiment_printer):
+    def compute():
+        review_rates = [0.0, 0.5, 1.0, 4.0]
+        table = {}
+        for risk in (CAMERA_RAW, OPEN_DOCUMENT_FORMAT):
+            table[risk.name] = [
+                probability_uninterpretable(risk, rate) for rate in review_rates
+            ]
+        penalty = proprietary_penalty(CAMERA_RAW, OPEN_DOCUMENT_FORMAT)
+        return review_rates, table, penalty
+
+    review_rates, table, penalty = benchmark(compute)
+    rows = [
+        [name] + values for name, values in table.items()
+    ]
+    experiment_printer(
+        "E13 (part 2): probability of uninterpretable data vs format-review rate",
+        format_table(
+            ["format"] + [f"{rate:g} reviews/yr" for rate in review_rates], rows
+        )
+        + f"\n\nproprietary-format penalty at yearly reviews: {penalty:.1f}x",
+    )
+
+    # More frequent reviews monotonically reduce the risk, and the
+    # proprietary format is several times worse at every cadence.
+    for values in table.values():
+        assert values == sorted(values, reverse=True)
+    assert penalty > 2.0

@@ -1,0 +1,81 @@
+"""Experiment E6: replication vs correlation (Eq. 12, Section 5.5).
+
+Regenerates the paper's conclusion that replication increases MTTDL
+geometrically but correlation decreases it geometrically, so replication
+without independence buys little.  Also cross-checks Eq. 12 against the
+exact birth-death Markov chain.
+"""
+
+import pytest
+
+from repro.analysis.sweep import sweep_replication
+from repro.analysis.tables import format_table
+from repro.core.replication import replicated_mttdl
+from repro.core.units import HOURS_PER_YEAR
+from repro.markov.builders import replicated_mttdl_markov
+
+MV = 1.4e6
+MRV = 1.0 / 3.0
+ALPHAS = [1.0, 0.1, 0.01, 0.001]
+MAX_REPLICAS = 5
+
+
+def compute_replication_table():
+    return sweep_replication(MV, MRV, MAX_REPLICAS, correlation_factors=ALPHAS)
+
+
+@pytest.mark.benchmark(group="e6 replication")
+def test_bench_e6_replication_vs_correlation(benchmark, experiment_printer):
+    results = benchmark(compute_replication_table)
+
+    headers = ["replicas"] + [f"alpha={alpha:g} (yr)" for alpha in ALPHAS]
+    rows = []
+    for index in range(MAX_REPLICAS):
+        row = [index + 1] + [
+            results[alpha].metric("mttdl_years")[index] for alpha in ALPHAS
+        ]
+        rows.append(row)
+    experiment_printer(
+        "E6: Eq. 12 — MTTDL vs replication degree and correlation",
+        format_table(headers, rows, precision=3),
+    )
+
+    # Geometric growth with replicas at alpha = 1.
+    independent = results[1.0].metric("mttdl_hours")
+    assert independent[2] / independent[1] == pytest.approx(MV / MRV, rel=1e-6)
+    # Correlation geometrically erodes the gain: at alpha = 0.001 the
+    # 5-way system is worth orders of magnitude less than independent.
+    correlated = results[0.001].metric("mttdl_hours")
+    assert correlated[4] < independent[4] * 1e-9
+    # Going from 2 to 5 replicas buys (MV/MRV)^3 when independent but
+    # only (alpha MV/MRV)^3 when correlated — the gain is slashed by
+    # alpha^3 (nine orders of magnitude here), which is the paper's
+    # "replication without independence does not help much" point.
+    independent_gain = independent[4] / independent[1]
+    correlated_gain = correlated[4] / correlated[1]
+    assert correlated_gain == pytest.approx(independent_gain * 0.001 ** 3, rel=1e-6)
+
+
+@pytest.mark.benchmark(group="e6 replication")
+def test_bench_e6_eq12_vs_markov(benchmark, experiment_printer):
+    def compute():
+        rows = []
+        for replicas in range(2, MAX_REPLICAS + 1):
+            closed = replicated_mttdl(MV, MRV, replicas, 0.1)
+            markov = replicated_mttdl_markov(
+                MV, MRV, replicas, 0.1, scale_fault_rate_with_survivors=False
+            )
+            rows.append((replicas, closed / HOURS_PER_YEAR, markov / HOURS_PER_YEAR))
+        return rows
+
+    rows = benchmark(compute)
+    experiment_printer(
+        "E6 (ablation): Eq. 12 approximation vs exact birth-death chain (alpha=0.1)",
+        format_table(
+            ["replicas", "Eq.12 (yr)", "Markov chain (yr)"],
+            [list(row) for row in rows],
+        ),
+    )
+    for replicas, closed, markov in rows:
+        ratio = max(closed, markov) / min(closed, markov)
+        assert ratio < 10.0 ** (replicas - 1)

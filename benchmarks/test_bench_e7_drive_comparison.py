@@ -1,0 +1,74 @@
+"""Experiment E7: consumer vs enterprise drives (Section 6.1).
+
+Barracuda vs Cheetah: in-service fault probability (7% vs 3%),
+irrecoverable bit errors over a 99%-idle 5-year life (paper: ~8 vs ~6),
+and the ~14x cost-per-byte premium.  The paper's conclusion: for
+archival workloads the premium buys too little — more independent
+consumer replicas win.
+"""
+
+import pytest
+
+from repro.analysis.tables import format_dict, format_table
+from repro.storage.bit_errors import (
+    bit_error_comparison,
+    consumer_replicas_affordable,
+    expected_bit_errors,
+)
+from repro.storage.costs import compare_drive_costs
+from repro.storage.drives import BARRACUDA_ST3200822A, CHEETAH_15K4
+
+
+def compute_comparison():
+    return bit_error_comparison(BARRACUDA_ST3200822A, CHEETAH_15K4)
+
+
+@pytest.mark.benchmark(group="e7 drive comparison")
+def test_bench_e7_drive_comparison(benchmark, experiment_printer):
+    comparison = benchmark(compute_comparison)
+
+    barracuda = expected_bit_errors(BARRACUDA_ST3200822A)
+    cheetah = expected_bit_errors(CHEETAH_15K4)
+    rows = [
+        [
+            "Barracuda ST3200822A (consumer)",
+            0.07,
+            f"{barracuda.expected_bit_errors:.1f} (paper ~8)",
+            0.57,
+        ],
+        [
+            "Cheetah 15K.4 (enterprise)",
+            0.03,
+            f"{cheetah.expected_bit_errors:.1f} (paper ~6)",
+            8.20,
+        ],
+    ]
+    table = format_table(
+        ["drive", "5-yr fault prob", "bit errors (5 yr, 99% idle)", "$/GB"], rows
+    )
+    costs = compare_drive_costs(
+        BARRACUDA_ST3200822A, CHEETAH_15K4, dataset_tb=10.0,
+        consumer_replicas=4, enterprise_replicas=2,
+    )
+    replicas = consumer_replicas_affordable(
+        BARRACUDA_ST3200822A, CHEETAH_15K4, dataset_gb=1000.0
+    )
+    experiment_printer(
+        "E7: Section 6.1 consumer vs enterprise drive comparison",
+        table
+        + "\n\n"
+        + format_dict(comparison, title="ratios")
+        + "\n\n"
+        + format_dict(costs, title="4 consumer replicas vs 2 enterprise replicas, 10 TB")
+        + f"\n\nconsumer replicas affordable for the enterprise budget: {replicas:.1f}",
+    )
+
+    # Paper's shape: ~14x the cost for ~half the fault probability and a
+    # same-order bit error count.
+    assert comparison["cost_per_gb_ratio"] == pytest.approx(14.4, abs=0.5)
+    assert comparison["fault_probability_ratio"] == pytest.approx(7.0 / 3.0, rel=0.01)
+    assert 1.0 < comparison["bit_error_ratio"] < 4.0
+    assert 2.0 <= barracuda.expected_bit_errors <= 10.0
+    assert 2.0 <= cheetah.expected_bit_errors <= 10.0
+    # More consumer replicas cost less than fewer enterprise replicas.
+    assert costs["cost_ratio_enterprise_to_consumer"] > 1.5

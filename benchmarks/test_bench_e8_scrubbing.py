@@ -1,0 +1,94 @@
+"""Experiment E8: scrubbing frequency and on-line vs off-line auditing
+(Sections 6.2-6.3).
+
+Sweeps the audit rate from never to weekly and reports the achieved
+detection latency and MTTDL (the paper's 3-scrubs-per-year point sits on
+this curve), then compares disk and tape replicas at the audit rates
+their economics allow.
+"""
+
+import pytest
+
+from repro.analysis.plotting import ascii_line_chart
+from repro.analysis.sweep import sweep_audit_rate
+from repro.analysis.tables import format_sweep, format_table
+from repro.audit.online_offline import compare_online_offline
+from repro.core.scenarios import cheetah_scrubbed_scenario
+from repro.core.units import HOURS_PER_YEAR
+from repro.storage.media import OFFLINE_TAPE, ONLINE_DISK
+
+AUDIT_RATES = [0.0, 0.5, 1.0, 3.0, 6.0, 12.0, 26.0, 52.0]
+
+
+def compute_scrub_sweep():
+    model = cheetah_scrubbed_scenario().model
+    return sweep_audit_rate(model, AUDIT_RATES)
+
+
+@pytest.mark.benchmark(group="e8 scrubbing")
+def test_bench_e8_scrub_rate_sweep(benchmark, experiment_printer):
+    sweep = benchmark(compute_scrub_sweep)
+
+    chart = ascii_line_chart(
+        sweep.values[1:],
+        sweep.metric("mttdl_years")[1:],
+        title="MTTDL (years, log) vs audits per year",
+        log_y=True,
+    )
+    experiment_printer(
+        "E8: MTTDL vs audit (scrub) rate — paper's 3/year point highlighted",
+        format_sweep(sweep, title="audit-rate sweep") + "\n\n" + chart,
+    )
+
+    years = dict(zip(sweep.values, sweep.metric("mttdl_years")))
+    # No scrubbing: ~32 years (paper).  Three per year: thousands of years.
+    assert years[0.0] == pytest.approx(32.0, rel=0.02)
+    assert years[3.0] > 100 * years[0.0]
+    # Diminishing but monotone returns.
+    series = sweep.metric("mttdl_years")
+    assert series == sorted(series)
+
+
+@pytest.mark.benchmark(group="e8 scrubbing")
+def test_bench_e8_disk_vs_tape(benchmark, experiment_printer):
+    def compute():
+        return compare_online_offline(
+            ONLINE_DISK,
+            OFFLINE_TAPE,
+            online_audits_per_year=12.0,
+            offline_audits_per_year=1.0,
+        )
+
+    comparison = benchmark(compute)
+    rows = []
+    for key, result in comparison.items():
+        rows.append(
+            [
+                key,
+                result.media_name,
+                result.audits_per_year,
+                result.mdl_hours,
+                result.mttdl_years,
+                result.annual_audit_cost,
+                result.staff_hours_per_year,
+            ]
+        )
+    experiment_printer(
+        "E8 (part 2): disk vs tape replica at affordable audit rates (Section 6.2)",
+        format_table(
+            [
+                "class",
+                "media",
+                "audits/yr",
+                "MDL (h)",
+                "MTTDL (yr)",
+                "audit $/yr",
+                "staff h/yr",
+            ],
+            rows,
+        ),
+    )
+
+    # Paper Section 6.2's answer: replicate on disk, not tape.
+    assert comparison["online"].mttdl_years > 5 * comparison["offline"].mttdl_years
+    assert comparison["offline"].annual_audit_cost > comparison["online"].annual_audit_cost

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""What does a digital archive actually experience over 50 years?
+
+The paper's Section 3 catalogues the threats to long-term storage; this
+example turns that catalogue into a synthetic 50-year incident log for a
+three-replica archive, summarises it, and shows how the threat mix maps
+onto the model's parameters — including which threats contribute the
+correlation that erodes replication.
+
+Run with::
+
+    python examples/archive_threats.py
+"""
+
+from collections import Counter
+
+from repro.analysis.tables import format_dict, format_table
+from repro.core.mttdl import mirrored_mttdl
+from repro.core.units import HOURS_PER_YEAR
+from repro.threats.correlation_sources import (
+    correlation_pressure,
+    dominant_correlation_sources,
+    mitigation_effect,
+)
+from repro.threats.events import sample_threat_timeline, summarize_timeline
+from repro.threats.taxonomy import all_threat_profiles, combined_fault_model
+
+HORIZON_YEARS = 50.0
+REPLICAS = 3
+
+
+def incident_log() -> None:
+    """Generate and summarise the synthetic 50-year incident log."""
+    events = sample_threat_timeline(
+        horizon_years=HORIZON_YEARS, replicas=REPLICAS, seed=2006
+    )
+    summary = summarize_timeline(events)
+    by_class = Counter(
+        {fault_class.value: count for fault_class, count in summary["by_class"].items()}
+    )
+    print(f"== Synthetic incident log: {REPLICAS} replicas over "
+          f"{HORIZON_YEARS:.0f} years ==\n")
+    rows = [[name, count] for name, count in by_class.most_common()]
+    print(format_table(["threat class", "incidents"], rows))
+    print()
+    print(
+        format_dict(
+            {
+                "total incidents": summary["total"],
+                "fraction latent": summary["latent_fraction"],
+                "mean latent detection delay (years)": summary[
+                    "mean_latent_detection_delay"
+                ]
+                / HOURS_PER_YEAR,
+                "incidents touching several replicas": summary["multi_replica_events"],
+            },
+            title="summary",
+        )
+    )
+
+    print("\nFirst five incidents:")
+    for event in events[:5]:
+        print(
+            f"  year {event.time / HOURS_PER_YEAR:5.1f}: "
+            f"{event.fault_class.value:24s} ({event.fault_type.value}), "
+            f"{event.replicas_affected} replica(s) affected, "
+            f"detected after {(event.detected_at - event.time) / HOURS_PER_YEAR:.2f} years"
+        )
+
+
+def threat_mix_to_model() -> None:
+    """Fold the full threat registry into one FaultModel and evaluate it."""
+    print("\n== The threat mix as model parameters ==\n")
+    model = combined_fault_model()
+    print(model.describe())
+    mttdl_years = mirrored_mttdl(model) / HOURS_PER_YEAR
+    print(f"\nMirrored-pair MTTDL under the full end-to-end threat mix: "
+          f"{mttdl_years:,.0f} years")
+    print("(media faults alone are far from the whole story once human error,\n"
+          " obsolescence, attack, and organisational failure are included)")
+
+
+def correlation_sources() -> None:
+    """Which threats drive the correlation factor, and what mitigation buys."""
+    print("\n== Where the correlation comes from ==\n")
+    profiles = all_threat_profiles()
+    pressure = correlation_pressure(profiles)
+    rows = [
+        [profile.fault_class.value, f"{contribution:.4f}", profile.mitigations]
+        for profile, contribution in pressure.per_threat[:5]
+    ]
+    print(format_table(["threat", "share of correlation pressure", "mitigation"], rows))
+    print(f"\nimplied correlation factor alpha: {pressure.implied_alpha:.4f}")
+
+    top = dominant_correlation_sources(profiles, top=1)[0]
+    before, after = mitigation_effect(profiles, top, reach_reduction=0.8)
+    print(
+        f"\nMitigating '{top.fault_class.value}' (cutting its reach by 80%) moves "
+        f"alpha from {before:.4f} to {after:.4f};"
+    )
+    model = combined_fault_model()
+    improved = model.with_correlation(after)
+    gain = mirrored_mttdl(improved) / mirrored_mttdl(model)
+    print(f"that alone multiplies the mirrored MTTDL by {gain:.1f}x.")
+
+
+def main() -> None:
+    incident_log()
+    threat_mix_to_model()
+    correlation_sources()
+
+
+if __name__ == "__main__":
+    main()

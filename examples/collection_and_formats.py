@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Collection-scale planning: object losses, audit throughput, and formats.
+
+The per-unit MTTDL tells only part of the story for a real archive:
+services hold millions of objects, each accessed very rarely, and the
+bits being intact is worthless if the format they are written in can no
+longer be interpreted.  This example covers both collection-scale
+questions:
+
+1. How many objects does a 10-million-object photo archive expect to
+   lose over 50 years at different audit rates, and what audit bandwidth
+   does the required rate actually consume?
+2. How often must the archive review its formats (and how fast must a
+   migration sweep be) to keep the chance of uninterpretable data low —
+   and how much worse proprietary formats make it?
+
+Run with::
+
+    python examples/collection_and_formats.py
+"""
+
+from repro.analysis.tables import format_dict, format_table
+from repro.core.migration import (
+    CAMERA_RAW,
+    LEGACY_DATABASE_DUMP,
+    OPEN_DOCUMENT_FORMAT,
+    probability_uninterpretable,
+    proprietary_penalty,
+    review_rate_for_target,
+)
+from repro.core.parameters import FaultModel
+from repro.core.units import HOURS_PER_YEAR
+from repro.storage.archive import (
+    ArchiveCollection,
+    access_based_detection_is_sufficient,
+    audit_rate_for_loss_budget,
+    collection_reliability,
+    required_audit_bandwidth,
+)
+
+COLLECTION = ArchiveCollection(
+    object_count=10_000_000,
+    mean_object_size_mb=2.0,
+    accesses_per_object_year=0.05,   # the average photo is viewed once in 20 years
+    replicas=2,
+)
+
+OBJECT_MODEL = FaultModel(
+    mean_time_to_visible=1.4e6,
+    mean_time_to_latent=2.8e5,
+    mean_repair_visible=1.0 / 3.0,
+    mean_repair_latent=1.0 / 3.0,
+    mean_detect_latent=1460.0,
+    correlation_factor=1.0,
+)
+
+
+def object_loss_projection() -> None:
+    print("== Expected object losses over 50 years (10M-object archive) ==\n")
+    rows = []
+    for label, audits_per_year in (
+        ("never audited", 0.0),
+        ("audited yearly", 1.0),
+        ("audited 3x/year (paper)", 3.0),
+        ("audited monthly", 12.0),
+    ):
+        if audits_per_year == 0.0:
+            mdl = OBJECT_MODEL.mean_time_to_latent
+        else:
+            mdl = HOURS_PER_YEAR / audits_per_year / 2.0
+        reliability = collection_reliability(
+            COLLECTION, OBJECT_MODEL.with_detection_time(mdl)
+        )
+        rows.append(
+            [
+                label,
+                reliability.per_object_loss_probability,
+                reliability.expected_objects_lost,
+                reliability.collection_survival_probability,
+            ]
+        )
+    print(
+        format_table(
+            ["audit policy", "P(object lost)", "expected objects lost",
+             "P(no object lost)"],
+            rows,
+        )
+    )
+
+    sufficient = access_based_detection_is_sufficient(COLLECTION, OBJECT_MODEL)
+    print(
+        "\nCan we rely on user accesses instead of audits?  "
+        f"{'Yes' if sufficient else 'No'} — the average object is read once every "
+        f"{COLLECTION.mean_access_interval_hours / HOURS_PER_YEAR:.0f} years, far too "
+        "rarely to catch latent faults in time."
+    )
+
+
+def audit_budgeting() -> None:
+    print("\n== Audit rate and bandwidth needed for a loss budget ==\n")
+    budget = 1e-4  # at most ~1,000 of 10M objects expected lost over 50 years
+    rate = audit_rate_for_loss_budget(
+        COLLECTION, OBJECT_MODEL, acceptable_loss_fraction=budget
+    )
+    if rate is None:
+        print("The loss budget is unreachable with this hardware.")
+        return
+    mdl = HOURS_PER_YEAR / rate / 2.0 if rate > 0 else OBJECT_MODEL.mean_time_to_latent
+    bandwidth = required_audit_bandwidth(COLLECTION, mdl)
+    drives_per_replica = COLLECTION.total_size_tb * 1000.0 / 200.0  # 200 GB drives
+    print(
+        format_dict(
+            {
+                "loss budget (fraction of objects)": budget,
+                "audits per replica per year": rate,
+                "implied detection delay (hours)": mdl,
+                "audit read bandwidth per replica (MB/s)": bandwidth,
+                "drives per replica (200 GB each)": drives_per_replica,
+                "audit bandwidth per drive (MB/s)": bandwidth / drives_per_replica,
+            },
+            title="audit plan",
+        )
+    )
+    print(
+        "\nSpread over the replica's drives this is a couple of MB/s of background\n"
+        "reading per drive — a few percent of each drive's bandwidth.  Auditing is\n"
+        "cheap compared with the reliability it buys."
+    )
+
+
+def format_risk() -> None:
+    print("\n== Format obsolescence: the higher-layer latent fault ==\n")
+    rows = []
+    for risk in (CAMERA_RAW, LEGACY_DATABASE_DUMP, OPEN_DOCUMENT_FORMAT):
+        rows.append(
+            [
+                risk.name,
+                "yes" if risk.proprietary else "no",
+                probability_uninterpretable(risk, format_checks_per_year=0.0),
+                probability_uninterpretable(risk, format_checks_per_year=1.0),
+                probability_uninterpretable(risk, format_checks_per_year=4.0),
+            ]
+        )
+    print(
+        format_table(
+            ["format", "proprietary", "P(dead), no reviews", "yearly reviews",
+             "quarterly reviews"],
+            rows,
+        )
+    )
+    penalty = proprietary_penalty(CAMERA_RAW, OPEN_DOCUMENT_FORMAT)
+    print(f"\nProprietary RAW is {penalty:.1f}x likelier than an open format to become "
+          "uninterpretable at the same review cadence.")
+    target = 0.10
+    rate = review_rate_for_target(OPEN_DOCUMENT_FORMAT, target)
+    if rate is not None:
+        print(f"Keeping the open format's 50-year risk under {target:.0%} needs about "
+              f"{rate:.2f} format reviews per year.")
+    raw_rate = review_rate_for_target(CAMERA_RAW, target)
+    if raw_rate is None:
+        print("No review cadence achieves that for proprietary RAW — the year-long "
+              "migration sweep is the bottleneck; convert the collection to an open "
+              "format instead (the paper's recommendation).")
+
+
+def main() -> None:
+    object_loss_projection()
+    audit_budgeting()
+    format_risk()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,124 @@
+"""Fixed-width table formatting for benchmark and example output.
+
+The benchmark harness prints the same rows the paper reports; these
+helpers keep that output aligned and consistent without pulling in any
+formatting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+Number = Union[int, float]
+Cell = Union[str, Number]
+
+
+def _format_cell(value: Cell, precision: int) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value == float("inf"):
+            return "inf"
+        if value == float("-inf"):
+            return "-inf"
+        magnitude = abs(value)
+        if magnitude != 0 and (magnitude >= 1e6 or magnitude < 1e-3):
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    precision: int = 3,
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as a fixed-width text table.
+
+    Args:
+        headers: column names.
+        rows: sequences of cells; each row must match the header length.
+        precision: significant digits for floating-point cells.
+        title: optional title line printed above the table.
+
+    Raises:
+        ValueError: if a row's length does not match the headers.
+    """
+    materialised: List[List[str]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells but there are "
+                f"{len(headers)} headers"
+            )
+        materialised.append([_format_cell(cell, precision) for cell in row])
+
+    widths = [len(str(header)) for header in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row([str(h) for h in headers]))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in materialised)
+    return "\n".join(lines)
+
+
+def format_dict(
+    mapping: Mapping[str, Cell], precision: int = 3, title: Optional[str] = None
+) -> str:
+    """Render a flat mapping as an aligned key/value listing."""
+    if not mapping:
+        return title or ""
+    key_width = max(len(str(key)) for key in mapping)
+    lines = [title] if title else []
+    for key, value in mapping.items():
+        lines.append(f"{str(key).ljust(key_width)}  {_format_cell(value, precision)}")
+    return "\n".join(lines)
+
+
+def format_scenario_table(scenarios: Dict[str, "object"], precision: int = 3) -> str:
+    """Table of the paper's worked-example scenarios vs reproduced values.
+
+    Accepts the mapping produced by
+    :func:`repro.core.scenarios.paper_scenarios`.
+    """
+    headers = [
+        "scenario",
+        "paper MTTDL (yr)",
+        "reproduced MTTDL (yr)",
+        "paper P(loss,50yr)",
+        "reproduced P(loss,50yr)",
+    ]
+    rows: List[List[Cell]] = []
+    for name, scenario in scenarios.items():
+        rows.append(
+            [
+                name,
+                scenario.paper_mttdl_years
+                if scenario.paper_mttdl_years is not None
+                else "-",
+                scenario.paper_method_mttdl_years(),
+                scenario.paper_loss_probability_50yr
+                if scenario.paper_loss_probability_50yr is not None
+                else "-",
+                scenario.paper_method_loss_probability(),
+            ]
+        )
+    return format_table(headers, rows, precision=precision)
+
+
+def format_sweep(sweep: "object", precision: int = 3, title: Optional[str] = None) -> str:
+    """Render a :class:`repro.analysis.sweep.SweepResult` as a table."""
+    headers = sweep.column_names()
+    rows = sweep.as_rows()
+    return format_table(headers, rows, precision=precision, title=title)

@@ -1,0 +1,131 @@
+"""Audit planning across a fleet of replicas (paper Section 6.7).
+
+The paper's data-gathering section poses a concrete planning question:
+given two geographically independent replica systems, is it better for
+each to audit its storage internally, or to audit between the two
+replicas?  This module provides a small planner that answers that kind
+of question with the model: it spreads an audit budget over replicas,
+computes the achieved detection latency, and compares internal
+(checksum-based) auditing against cross-replica comparison, which has a
+higher per-pass cost (network transfer) but also detects faults that
+local checksums cannot (e.g. consistent-but-wrong data from a buggy
+ingest).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.mttdl import mirrored_mttdl
+from repro.core.parameters import FaultModel
+from repro.core.units import HOURS_PER_YEAR
+from repro.audit.policies import AuditKind, AuditSchedule, detection_latency
+
+
+@dataclass(frozen=True)
+class AuditPlan:
+    """An allocation of audit passes across replicas.
+
+    Attributes:
+        audits_per_replica_year: audit passes per replica per year.
+        mdl_hours: achieved mean detection latency.
+        mttdl_years: resulting mirrored MTTDL in years.
+        annual_cost: total audit spend per year across replicas.
+        coverage: per-pass detection coverage assumed.
+    """
+
+    audits_per_replica_year: float
+    mdl_hours: float
+    mttdl_years: float
+    annual_cost: float
+    coverage: float
+
+
+def plan_audits(
+    model: FaultModel,
+    replicas: int,
+    annual_budget: float,
+    cost_per_audit: float,
+    coverage: float = 1.0,
+) -> AuditPlan:
+    """Spend an audit budget evenly across replicas and report the result.
+
+    Raises:
+        ValueError: for non-positive budget inputs or replica count.
+    """
+    if replicas < 1:
+        raise ValueError("replicas must be at least 1")
+    if annual_budget < 0:
+        raise ValueError("annual_budget must be non-negative")
+    if cost_per_audit <= 0:
+        raise ValueError("cost_per_audit must be positive")
+    total_audits = annual_budget / cost_per_audit
+    per_replica = total_audits / replicas
+    if per_replica == 0:
+        mdl = model.mean_time_to_latent
+    else:
+        schedule = AuditSchedule(
+            kind=AuditKind.PERIODIC, audits_per_year=per_replica, coverage=coverage
+        )
+        mdl = detection_latency(schedule)
+    adjusted = model.with_detection_time(mdl)
+    return AuditPlan(
+        audits_per_replica_year=per_replica,
+        mdl_hours=mdl,
+        mttdl_years=mirrored_mttdl(adjusted) / HOURS_PER_YEAR,
+        annual_cost=per_replica * cost_per_audit * replicas,
+        coverage=coverage,
+    )
+
+
+def internal_vs_cross_replica_audit(
+    model: FaultModel,
+    annual_budget: float,
+    internal_cost_per_audit: float,
+    cross_cost_per_audit: float,
+    internal_coverage: float = 0.9,
+    cross_coverage: float = 1.0,
+    replicas: int = 2,
+) -> Dict[str, AuditPlan]:
+    """Compare spending the audit budget on internal vs cross-replica audits.
+
+    Internal audits (local checksum scrubs) are cheaper per pass but have
+    lower coverage: they cannot detect data that was checksummed after it
+    was already wrong, or coordinated corruption of data and checksum.
+    Cross-replica audits compare the replicas directly, so their coverage
+    is higher, but each pass costs more (wide-area transfer or hashing
+    protocols).
+
+    Returns:
+        ``{"internal": plan, "cross_replica": plan}``.
+    """
+    internal = plan_audits(
+        model,
+        replicas=replicas,
+        annual_budget=annual_budget,
+        cost_per_audit=internal_cost_per_audit,
+        coverage=internal_coverage,
+    )
+    cross = plan_audits(
+        model,
+        replicas=replicas,
+        annual_budget=annual_budget,
+        cost_per_audit=cross_cost_per_audit,
+        coverage=cross_coverage,
+    )
+    return {"internal": internal, "cross_replica": cross}
+
+
+def budget_sweep(
+    model: FaultModel,
+    budgets: List[float],
+    cost_per_audit: float,
+    replicas: int = 2,
+    coverage: float = 1.0,
+) -> List[AuditPlan]:
+    """Audit plans for a range of annual budgets (diminishing returns)."""
+    return [
+        plan_audits(model, replicas, budget, cost_per_audit, coverage)
+        for budget in budgets
+    ]

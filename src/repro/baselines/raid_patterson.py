@@ -1,0 +1,80 @@
+"""The original RAID MTTDL model (Patterson, Gibson, Katz 1988).
+
+The paper's Eq. 9 notes that when latent faults are negligible its model
+collapses to this one.  Implemented here as an explicit baseline so the
+collapse can be verified (experiment E11) and so the paper's extensions
+(latent faults, detection time, correlation) can be ablated against it.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.units import HOURS_PER_YEAR
+
+
+def patterson_mirrored_mttdl(disk_mttf: float, disk_mttr: float) -> float:
+    """MTTDL of a mirrored pair considering only visible disk failures.
+
+    ``MTTF² / (2 · MTTR)``: the first failure occurs at rate ``2/MTTF``,
+    and the mirror is lost if the second disk fails within the repair
+    window, probability ``MTTR / MTTF``.
+
+    Note the factor of two: the paper's Eq. 9 (``α MV²/MRV``) counts
+    first faults at the single-copy rate, so it is exactly twice this
+    value at ``α`` = 1.  The discrepancy is a bookkeeping convention, not
+    a modelling difference, and is called out in EXPERIMENTS.md.
+    """
+    if disk_mttf <= 0:
+        raise ValueError("disk_mttf must be positive")
+    if disk_mttr <= 0:
+        raise ValueError("disk_mttr must be positive")
+    return disk_mttf ** 2 / (2.0 * disk_mttr)
+
+
+def patterson_group_mttdl(
+    disk_mttf: float, disk_mttr: float, data_disks: int, parity_disks: int = 1
+) -> float:
+    """MTTDL of one parity group in the original RAID analysis.
+
+    ``MTTF² / (G (G-1) MTTR)`` for a group of ``G = data + parity``
+    drives that survives one failure.
+    """
+    if data_disks < 1 or parity_disks < 1:
+        raise ValueError("group must have at least one data and one parity disk")
+    group = data_disks + parity_disks
+    if disk_mttf <= 0 or disk_mttr <= 0:
+        raise ValueError("disk_mttf and disk_mttr must be positive")
+    return disk_mttf ** 2 / (group * (group - 1) * disk_mttr)
+
+
+def patterson_raid5_mttdl(disk_mttf: float, disk_mttr: float, disks: int) -> float:
+    """RAID-5 style single-parity group of ``disks`` drives."""
+    if disks < 3:
+        raise ValueError("a RAID-5 group needs at least 3 disks")
+    return patterson_group_mttdl(disk_mttf, disk_mttr, data_disks=disks - 1)
+
+
+def patterson_array_mttdl(
+    disk_mttf: float, disk_mttr: float, disks_per_group: int, groups: int
+) -> float:
+    """MTTDL of an array of independent parity groups.
+
+    Independent groups fail independently, so the array MTTDL is the
+    per-group MTTDL divided by the number of groups.
+    """
+    if groups < 1:
+        raise ValueError("groups must be at least 1")
+    per_group = patterson_raid5_mttdl(disk_mttf, disk_mttr, disks_per_group)
+    return per_group / groups
+
+
+def patterson_reliability_over_mission(
+    mttdl_hours: float, mission_years: float
+) -> float:
+    """Probability of surviving a mission under the exponential model."""
+    if mttdl_hours <= 0:
+        raise ValueError("mttdl_hours must be positive")
+    if mission_years < 0:
+        raise ValueError("mission_years must be non-negative")
+    return math.exp(-mission_years * HOURS_PER_YEAR / mttdl_hours)

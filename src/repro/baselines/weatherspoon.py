@@ -1,0 +1,132 @@
+"""Weatherspoon & Kubiatowicz (2002): erasure coding vs replication.
+
+The paper's related-work section contrasts whole-object replication
+(PAST, LOCKSS) with ``m``-of-``n`` erasure coding (OceanStore).  This
+baseline implements the standard combinatorial durability comparison:
+given a per-fragment (or per-replica) failure probability over a repair
+epoch, the object survives if at least ``m`` of ``n`` fragments survive,
+versus at least 1 of ``r`` replicas.  It also reports the storage
+overhead of each scheme, which is the axis Weatherspoon's comparison
+turns on.
+"""
+
+from __future__ import annotations
+
+from math import comb
+from typing import Dict
+
+
+def _validate_probability(p: float, name: str) -> None:
+    if not 0 <= p <= 1:
+        raise ValueError(f"{name} must be in [0, 1], got {p!r}")
+
+
+def fragment_survival_probability(
+    fragment_failure_probability: float, n: int, m: int
+) -> float:
+    """Probability that at least ``m`` of ``n`` fragments survive an epoch."""
+    _validate_probability(fragment_failure_probability, "fragment_failure_probability")
+    if n < 1 or m < 1 or m > n:
+        raise ValueError("need 1 <= m <= n")
+    p_survive = 1.0 - fragment_failure_probability
+    total = 0.0
+    for k in range(m, n + 1):
+        total += (
+            comb(n, k)
+            * p_survive ** k
+            * fragment_failure_probability ** (n - k)
+        )
+    return total
+
+
+def erasure_coding_durability(
+    fragment_failure_probability: float, n: int, m: int, epochs: int = 1
+) -> float:
+    """Probability an ``m``-of-``n`` encoded object survives ``epochs``.
+
+    Each epoch ends with repair back to full redundancy, so epochs are
+    independent.
+    """
+    if epochs < 1:
+        raise ValueError("epochs must be at least 1")
+    per_epoch = fragment_survival_probability(fragment_failure_probability, n, m)
+    return per_epoch ** epochs
+
+
+def replication_durability(
+    replica_failure_probability: float, replicas: int, epochs: int = 1
+) -> float:
+    """Probability a fully replicated object survives ``epochs``.
+
+    The object survives an epoch if at least one replica survives.
+    """
+    _validate_probability(replica_failure_probability, "replica_failure_probability")
+    if replicas < 1:
+        raise ValueError("replicas must be at least 1")
+    if epochs < 1:
+        raise ValueError("epochs must be at least 1")
+    per_epoch = 1.0 - replica_failure_probability ** replicas
+    return per_epoch ** epochs
+
+
+def storage_overhead_comparison(
+    n: int, m: int, replicas: int
+) -> Dict[str, float]:
+    """Raw-storage multiple of erasure coding vs replication.
+
+    Erasure coding stores ``n / m`` times the object size; replication
+    stores ``replicas`` times.
+    """
+    if n < 1 or m < 1 or m > n:
+        raise ValueError("need 1 <= m <= n")
+    if replicas < 1:
+        raise ValueError("replicas must be at least 1")
+    return {
+        "erasure_overhead": n / m,
+        "replication_overhead": float(replicas),
+        "erasure_savings_factor": replicas / (n / m),
+    }
+
+
+def equivalent_replication_for_durability(
+    fragment_failure_probability: float,
+    n: int,
+    m: int,
+    max_replicas: int = 64,
+) -> int:
+    """Replicas needed to match an erasure code's per-epoch durability.
+
+    Weatherspoon's headline result: matching the durability of a modest
+    erasure code with whole-object replication takes many more raw bytes.
+
+    Raises:
+        ValueError: if even ``max_replicas`` replicas cannot match it.
+    """
+    target = fragment_survival_probability(fragment_failure_probability, n, m)
+    for replicas in range(1, max_replicas + 1):
+        if replication_durability(fragment_failure_probability, replicas) >= target:
+            return replicas
+    raise ValueError(
+        f"replication cannot match the target durability within {max_replicas} replicas"
+    )
+
+
+def durability_with_latent_fault_penalty(
+    fragment_failure_probability: float,
+    latent_fault_probability: float,
+    n: int,
+    m: int,
+) -> float:
+    """Erasure-code durability when latent faults also disable fragments.
+
+    Weatherspoon's model does not include latent faults; the paper points
+    this out.  Folding an additional independent per-fragment latent
+    fault probability into the per-epoch failure probability shows how
+    quickly coded redundancy erodes when fragments silently rot between
+    repair epochs.
+    """
+    _validate_probability(latent_fault_probability, "latent_fault_probability")
+    combined = 1.0 - (1.0 - fragment_failure_probability) * (
+        1.0 - latent_fault_probability
+    )
+    return fragment_survival_probability(combined, n, m)

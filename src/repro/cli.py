@@ -1,0 +1,183 @@
+"""Command-line interface for the reliability toolkit.
+
+Installed as the ``repro-storage`` console script.  Sub-commands cover
+the workflows the examples and benchmarks use:
+
+``scenarios``
+    Print the paper's Section 5.4 worked examples next to the values the
+    paper reports.
+``mttdl``
+    Evaluate the mirrored MTTDL (and mission loss probability) for a
+    parameter set given on the command line.
+``sweep-audit``
+    MTTDL as a function of the audit rate.
+``replication``
+    Eq. 12 MTTDL for a range of replication degrees and correlation
+    factors.
+``validate``
+    Compare the closed forms against the exact Markov chain for a
+    parameter set.
+
+All times are entered in hours, consistent with the library.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.compare import compare_models
+from repro.analysis.sweep import sweep_audit_rate, sweep_replication
+from repro.analysis.tables import format_dict, format_scenario_table, format_sweep, format_table
+from repro.core.mttdl import mirrored_mttdl
+from repro.core.parameters import FaultModel
+from repro.core.probability import probability_of_loss
+from repro.core.scenarios import paper_scenarios
+from repro.core.units import HOURS_PER_YEAR, years_to_hours
+
+
+def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
+    """Register the FaultModel parameters (defaults: scrubbed Cheetah pair)."""
+    parser.add_argument("--mv", type=float, default=1.4e6,
+                        help="mean time to a visible fault, hours (default: 1.4e6)")
+    parser.add_argument("--ml", type=float, default=2.8e5,
+                        help="mean time to a latent fault, hours (default: 2.8e5)")
+    parser.add_argument("--mrv", type=float, default=1.0 / 3.0,
+                        help="mean repair time for visible faults, hours (default: 20 min)")
+    parser.add_argument("--mrl", type=float, default=1.0 / 3.0,
+                        help="mean repair time for latent faults, hours (default: 20 min)")
+    parser.add_argument("--mdl", type=float, default=1460.0,
+                        help="mean latent detection delay, hours (default: 1460)")
+    parser.add_argument("--alpha", type=float, default=1.0,
+                        help="correlation factor in (0, 1] (default: 1.0)")
+
+
+def _model_from_args(args: argparse.Namespace) -> FaultModel:
+    return FaultModel(
+        mean_time_to_visible=args.mv,
+        mean_time_to_latent=args.ml,
+        mean_repair_visible=args.mrv,
+        mean_repair_latent=args.mrl,
+        mean_detect_latent=args.mdl,
+        correlation_factor=args.alpha,
+    )
+
+
+def _cmd_scenarios(_args: argparse.Namespace) -> str:
+    return format_scenario_table(paper_scenarios())
+
+
+def _cmd_mttdl(args: argparse.Namespace) -> str:
+    model = _model_from_args(args)
+    mttdl = mirrored_mttdl(model)
+    mission_hours = years_to_hours(args.mission_years)
+    return format_dict(
+        {
+            "MTTDL (hours)": mttdl,
+            "MTTDL (years)": mttdl / HOURS_PER_YEAR,
+            f"P(loss in {args.mission_years:g} years)": probability_of_loss(
+                mttdl, mission_hours
+            ),
+        },
+        title="mirrored-pair reliability",
+    )
+
+
+def _cmd_sweep_audit(args: argparse.Namespace) -> str:
+    model = _model_from_args(args)
+    rates = [float(rate) for rate in args.rates]
+    sweep = sweep_audit_rate(model, rates)
+    return format_sweep(sweep, title="MTTDL vs audit rate")
+
+
+def _cmd_replication(args: argparse.Namespace) -> str:
+    results = sweep_replication(
+        mean_time_to_fault=args.mv,
+        mean_repair_time=args.mrv,
+        max_replicas=args.max_replicas,
+        correlation_factors=[float(alpha) for alpha in args.alphas],
+    )
+    headers = ["replicas"] + [f"alpha={alpha:g} (yr)" for alpha in results]
+    rows = []
+    for index in range(args.max_replicas):
+        rows.append(
+            [index + 1]
+            + [results[alpha].metric("mttdl_years")[index] for alpha in results]
+        )
+    return format_table(headers, rows)
+
+
+def _cmd_validate(args: argparse.Namespace) -> str:
+    model = _model_from_args(args)
+    comparison = compare_models(model)
+    return format_dict(comparison.in_years(), title="MTTDL (years) by method")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-storage",
+        description="Reliability modelling toolkit for long-term digital storage "
+        "(Baker et al., EuroSys 2006 reproduction).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    scenarios = subparsers.add_parser(
+        "scenarios", help="print the paper's Section 5.4 worked examples"
+    )
+    scenarios.set_defaults(handler=_cmd_scenarios)
+
+    mttdl = subparsers.add_parser(
+        "mttdl", help="evaluate the mirrored MTTDL for a parameter set"
+    )
+    _add_model_arguments(mttdl)
+    mttdl.add_argument("--mission-years", type=float, default=50.0,
+                       help="mission length for the loss probability (default: 50)")
+    mttdl.set_defaults(handler=_cmd_mttdl)
+
+    sweep = subparsers.add_parser(
+        "sweep-audit", help="MTTDL as a function of the audit rate"
+    )
+    _add_model_arguments(sweep)
+    sweep.add_argument("--rates", nargs="+", default=["0", "1", "3", "12", "52"],
+                       help="audit rates (per year) to evaluate")
+    sweep.set_defaults(handler=_cmd_sweep_audit)
+
+    replication = subparsers.add_parser(
+        "replication", help="Eq. 12 MTTDL vs replication degree"
+    )
+    replication.add_argument("--mv", type=float, default=1.4e6,
+                             help="per-replica mean time to fault, hours")
+    replication.add_argument("--mrv", type=float, default=1.0 / 3.0,
+                             help="repair time, hours")
+    replication.add_argument("--max-replicas", type=int, default=5,
+                             help="largest replication degree to evaluate")
+    replication.add_argument("--alphas", nargs="+", default=["1.0", "0.1", "0.01"],
+                             help="correlation factors to evaluate")
+    replication.set_defaults(handler=_cmd_replication)
+
+    validate = subparsers.add_parser(
+        "validate", help="compare the closed forms against the Markov chain"
+    )
+    _add_model_arguments(validate)
+    validate.set_defaults(handler=_cmd_validate)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    try:
+        output = args.handler(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,172 @@
+"""Limit-case approximations of the mirrored MTTDL (paper Eqs. 9-11).
+
+The paper specialises Eq. 8 in three operating regimes:
+
+* **Visible-dominated** (Eq. 9): visible faults are much more frequent
+  than latent ones and both windows are short.  The model collapses to
+  the original RAID MTTDL, ``α MV² / MRV``.
+* **Latent-dominated** (Eq. 10): latent faults are much more frequent
+  than visible ones.  ``α ML² / (MRL + MDL)`` — the detection time
+  directly divides the reliability, which is the paper's argument for
+  scrubbing.
+* **Long window** (Eq. 11): visible faults dominate in frequency but the
+  window after a latent fault is long (detection and/or repair is slow),
+  so nearly every latent fault leads to a double fault.
+  ``α MV² / (MRV + MV²/ML)``.
+
+These closed forms are what the paper's Section 5.4 worked examples use,
+so reproducing the paper's numbers exactly requires these functions
+rather than the full Eq. 7 evaluation (which is slightly more
+conservative; the comparison is part of experiment E11).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.parameters import FaultModel
+
+
+class OperatingRegime(enum.Enum):
+    """Which specialisation of the model applies to a parameter set."""
+
+    VISIBLE_DOMINATED = "visible_dominated"
+    LATENT_DOMINATED = "latent_dominated"
+    LONG_LATENT_WINDOW = "long_latent_window"
+    GENERAL = "general"
+
+
+def visible_dominated_mttdl(model: FaultModel) -> float:
+    """Paper Eq. 9: ``MTTDL ≈ α · MV² / MRV``.
+
+    Valid when visible faults dominate (``MV ≪ ML``) and both windows of
+    vulnerability are much shorter than ``MV``.  This is the classic RAID
+    mirrored-pair MTTDL scaled by the correlation factor.
+    """
+    if model.mean_repair_visible <= 0:
+        return float("inf")
+    return (
+        model.correlation_factor
+        * model.mean_time_to_visible ** 2
+        / model.mean_repair_visible
+    )
+
+
+def latent_dominated_mttdl(model: FaultModel) -> float:
+    """Paper Eq. 10: ``MTTDL ≈ α · ML² / (MRL + MDL)``.
+
+    Valid when latent faults dominate (``ML ≪ MV``).  The key implication
+    the paper draws from this form is that the detection time ``MDL``
+    divides the reliability directly: halving the scrub interval doubles
+    the expected time to data loss.
+    """
+    window = model.latent_window
+    if window <= 0:
+        return float("inf")
+    return model.correlation_factor * model.mean_time_to_latent ** 2 / window
+
+
+def long_window_mttdl(model: FaultModel) -> float:
+    """Paper Eq. 11: ``MTTDL ≈ α · MV² / (MRV + MV²/ML)``.
+
+    Valid when visible faults dominate in frequency but the window of
+    vulnerability after a latent fault is long enough that essentially
+    every latent fault leads to a double fault
+    (``P(V2 or L2 | L1) ≈ 1``).  The paper applies it when
+    ``ML < MV²`` (in hours).
+    """
+    denominator = (
+        model.mean_repair_visible
+        + model.mean_time_to_visible ** 2 / model.mean_time_to_latent
+    )
+    if denominator <= 0:
+        return float("inf")
+    return model.correlation_factor * model.mean_time_to_visible ** 2 / denominator
+
+
+@dataclass(frozen=True)
+class RegimeClassification:
+    """Result of classifying a model into an operating regime."""
+
+    regime: OperatingRegime
+    reason: str
+
+
+def classify_regime(
+    model: FaultModel, dominance_ratio: float = 5.0, long_window_fraction: float = 0.5
+) -> RegimeClassification:
+    """Decide which approximation best matches a parameter set.
+
+    Args:
+        model: the fault model parameters.
+        dominance_ratio: how many times more frequent one fault type must
+            be than the other before we call it dominant.
+        long_window_fraction: the latent window is considered "long" when
+            it exceeds this fraction of the combined mean time between
+            faults (at that point the linearised probability of a second
+            fault within the window is no longer small).
+
+    Returns:
+        A :class:`RegimeClassification` naming the regime and explaining
+        the choice.
+    """
+    if dominance_ratio <= 1:
+        raise ValueError("dominance_ratio must exceed 1")
+    if not 0 < long_window_fraction <= 1:
+        raise ValueError("long_window_fraction must be in (0, 1]")
+
+    mv = model.mean_time_to_visible
+    ml = model.mean_time_to_latent
+    combined_mean_time = 1.0 / (1.0 / mv + 1.0 / ml)
+    window_is_long = (
+        model.latent_window >= long_window_fraction * combined_mean_time
+    )
+
+    if ml <= mv / dominance_ratio:
+        return RegimeClassification(
+            OperatingRegime.LATENT_DOMINATED,
+            f"latent faults at least {dominance_ratio:g}x more frequent "
+            "than visible faults",
+        )
+    if mv <= ml / dominance_ratio:
+        if window_is_long:
+            return RegimeClassification(
+                OperatingRegime.LONG_LATENT_WINDOW,
+                "visible faults dominate but the latent window of "
+                "vulnerability is long",
+            )
+        return RegimeClassification(
+            OperatingRegime.VISIBLE_DOMINATED,
+            f"visible faults at least {dominance_ratio:g}x more frequent "
+            "than latent faults and windows are short",
+        )
+    if window_is_long:
+        return RegimeClassification(
+            OperatingRegime.LONG_LATENT_WINDOW,
+            "comparable fault rates with a long latent window",
+        )
+    return RegimeClassification(
+        OperatingRegime.GENERAL,
+        "no fault type dominates; use the full Eq. 7/8 evaluation",
+    )
+
+
+def best_approximation(model: FaultModel) -> float:
+    """Evaluate the approximation matching the model's regime.
+
+    Falls back to the latent-dominated form in the general regime only if
+    latent faults are at least as frequent as visible ones, otherwise the
+    visible-dominated form — mirroring how the paper picks which closed
+    form to quote for each worked example.
+    """
+    classification = classify_regime(model)
+    if classification.regime is OperatingRegime.VISIBLE_DOMINATED:
+        return visible_dominated_mttdl(model)
+    if classification.regime is OperatingRegime.LATENT_DOMINATED:
+        return latent_dominated_mttdl(model)
+    if classification.regime is OperatingRegime.LONG_LATENT_WINDOW:
+        return long_window_mttdl(model)
+    if model.mean_time_to_latent <= model.mean_time_to_visible:
+        return latent_dominated_mttdl(model)
+    return visible_dominated_mttdl(model)

@@ -1,0 +1,177 @@
+"""MTTDL for r-way replication (paper Eq. 12, Section 5.5).
+
+To reason about replication degrees beyond mirroring, the paper assumes
+detection is fast (``MDL`` negligible), latent and visible faults have
+similar rates and repair times, and the windows of vulnerability of
+successive faults overlap exactly.  Data is lost when ``r - 1``
+successive faults all land within the window opened by the first fault.
+Each successive fault does so with probability ``MRV / (α MV)``, giving
+
+.. math::
+
+    \\mathrm{MTTDL}(r) = MV \\cdot
+        \\left(\\frac{\\alpha MV}{MRV}\\right)^{r-1}
+      = \\frac{\\alpha^{r-1} MV^r}{MRV^{r-1}}
+
+The key observation the paper draws from this: replication increases
+MTTDL geometrically, but strong correlation (small ``α``) decreases it
+geometrically too, so adding replicas without adding independence buys
+little.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.core.parameters import FaultModel
+
+
+def replicated_mttdl(
+    mean_time_to_fault: float,
+    mean_repair_time: float,
+    replicas: int,
+    correlation_factor: float = 1.0,
+) -> float:
+    """Paper Eq. 12: MTTDL of ``replicas``-way replicated data, in hours.
+
+    Args:
+        mean_time_to_fault: per-replica mean time to any fault (hours).
+        mean_repair_time: per-fault mean repair time (hours).
+        replicas: replication degree ``r`` (>= 1).
+        correlation_factor: ``α`` in (0, 1].
+
+    Returns:
+        MTTDL in hours.  For a single replica the data is lost as soon as
+        the first fault occurs, so the MTTDL is just the mean time to
+        fault.
+
+    Raises:
+        ValueError: for non-positive parameters or ``replicas < 1``.
+    """
+    if mean_time_to_fault <= 0:
+        raise ValueError("mean_time_to_fault must be positive")
+    if mean_repair_time < 0:
+        raise ValueError("mean_repair_time must be non-negative")
+    if replicas < 1:
+        raise ValueError("replicas must be at least 1")
+    if not 0 < correlation_factor <= 1:
+        raise ValueError("correlation_factor must be in (0, 1]")
+    if replicas == 1:
+        return mean_time_to_fault
+    if mean_repair_time == 0:
+        return float("inf")
+    per_step = correlation_factor * mean_time_to_fault / mean_repair_time
+    # Probability of each successive fault landing inside the window is
+    # 1 / per_step; the approximation is only meaningful when that
+    # probability is below 1, otherwise every fault cascades and the
+    # MTTDL degenerates to the single-copy mean time to fault.
+    if per_step <= 1:
+        return mean_time_to_fault
+    return mean_time_to_fault * per_step ** (replicas - 1)
+
+
+def replicated_mttdl_from_model(model: FaultModel, replicas: int) -> float:
+    """Eq. 12 driven by a :class:`FaultModel`.
+
+    Follows the paper's Section 5.5 simplification: the combined fault
+    process (visible plus latent) with the visible repair time and the
+    model's correlation factor.
+    """
+    combined_mean_time = 1.0 / model.total_fault_rate
+    return replicated_mttdl(
+        mean_time_to_fault=combined_mean_time,
+        mean_repair_time=model.mean_repair_visible,
+        replicas=replicas,
+        correlation_factor=model.correlation_factor,
+    )
+
+
+def replication_gain(
+    mean_time_to_fault: float,
+    mean_repair_time: float,
+    replicas: int,
+    correlation_factor: float = 1.0,
+) -> float:
+    """How much adding one more replica multiplies the MTTDL.
+
+    Under Eq. 12 the gain per added replica is ``α MV / MRV`` regardless
+    of the starting degree, which is the quantity that correlation
+    erodes.
+    """
+    with_extra = replicated_mttdl(
+        mean_time_to_fault, mean_repair_time, replicas + 1, correlation_factor
+    )
+    base = replicated_mttdl(
+        mean_time_to_fault, mean_repair_time, replicas, correlation_factor
+    )
+    if base == 0:
+        return float("inf")
+    return with_extra / base
+
+
+def replicas_needed_for_target(
+    mean_time_to_fault: float,
+    mean_repair_time: float,
+    target_mttdl: float,
+    correlation_factor: float = 1.0,
+    max_replicas: int = 64,
+) -> int:
+    """Smallest replication degree whose Eq. 12 MTTDL meets a target.
+
+    Raises:
+        ValueError: if the target cannot be met within ``max_replicas``
+            (which happens when correlation is so strong that each added
+            replica contributes no reliability).
+    """
+    if target_mttdl <= 0:
+        raise ValueError("target_mttdl must be positive")
+    for replicas in range(1, max_replicas + 1):
+        mttdl = replicated_mttdl(
+            mean_time_to_fault, mean_repair_time, replicas, correlation_factor
+        )
+        if mttdl >= target_mttdl:
+            return replicas
+    raise ValueError(
+        f"target MTTDL {target_mttdl:g} h not reachable with up to "
+        f"{max_replicas} replicas at correlation {correlation_factor:g}"
+    )
+
+
+def replication_sweep(
+    mean_time_to_fault: float,
+    mean_repair_time: float,
+    max_replicas: int,
+    correlation_factor: float = 1.0,
+) -> List[float]:
+    """MTTDL for every replication degree from 1 to ``max_replicas``."""
+    if max_replicas < 1:
+        raise ValueError("max_replicas must be at least 1")
+    return [
+        replicated_mttdl(
+            mean_time_to_fault, mean_repair_time, r, correlation_factor
+        )
+        for r in range(1, max_replicas + 1)
+    ]
+
+
+def effective_replicas(
+    replicas: int, correlation_factor: float, mean_time_to_fault: float,
+    mean_repair_time: float,
+) -> float:
+    """Replication degree of an *independent* system with the same MTTDL.
+
+    Answers the paper's Section 5.5 question quantitatively: with
+    correlation ``α``, how many truly independent replicas is an r-way
+    correlated system actually worth?  Computed by equating Eq. 12 with
+    ``α = 1`` to the correlated MTTDL and solving for ``r``.
+    """
+    correlated = replicated_mttdl(
+        mean_time_to_fault, mean_repair_time, replicas, correlation_factor
+    )
+    if mean_repair_time == 0:
+        return float(replicas)
+    ratio = mean_time_to_fault / mean_repair_time
+    if ratio <= 1:
+        return 1.0
+    return 1.0 + math.log(correlated / mean_time_to_fault) / math.log(ratio)

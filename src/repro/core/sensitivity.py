@@ -1,0 +1,108 @@
+"""Sensitivity of the MTTDL to each model parameter.
+
+The paper's qualitative implications (Section 5.4) — MTTDL varies
+quadratically with ``min(MV, ML)``, linearly with ``α``, and inversely
+with the latent window — can be checked numerically by computing the
+elasticity (log-log derivative) of the MTTDL with respect to each
+parameter.  An elasticity of 2 means "quadratic", 1 means "linear",
+-1 means "inverse".
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict
+
+from repro.core.mttdl import mirrored_mttdl
+from repro.core.parameters import FaultModel
+
+#: Parameter names accepted by the sensitivity functions, mapping the
+#: paper's notation to :class:`FaultModel` field names.
+PARAMETER_FIELDS: Dict[str, str] = {
+    "MV": "mean_time_to_visible",
+    "ML": "mean_time_to_latent",
+    "MRV": "mean_repair_visible",
+    "MRL": "mean_repair_latent",
+    "MDL": "mean_detect_latent",
+    "alpha": "correlation_factor",
+}
+
+
+def _perturbed(model: FaultModel, parameter: str, factor: float) -> FaultModel:
+    """Return a copy of ``model`` with one parameter scaled by ``factor``."""
+    field = PARAMETER_FIELDS.get(parameter)
+    if field is None:
+        raise ValueError(
+            f"unknown parameter {parameter!r}; expected one of "
+            f"{sorted(PARAMETER_FIELDS)}"
+        )
+    value = getattr(model, field) * factor
+    if parameter == "alpha":
+        value = min(value, 1.0)
+    return replace(model, **{field: value})
+
+
+def elasticity(
+    model: FaultModel,
+    parameter: str,
+    metric: Callable[[FaultModel], float] = mirrored_mttdl,
+    relative_step: float = 1e-3,
+) -> float:
+    """Log-log derivative of ``metric`` with respect to one parameter.
+
+    Uses a central finite difference in log space:
+    ``d ln(metric) / d ln(parameter)``.
+
+    Args:
+        model: the operating point.
+        parameter: one of ``MV``, ``ML``, ``MRV``, ``MRL``, ``MDL``,
+            ``alpha``.
+        metric: function of the model to differentiate (defaults to the
+            mirrored MTTDL).
+        relative_step: relative perturbation size.
+
+    Returns:
+        The elasticity.  Returns 0 when the parameter's current value is
+        zero (no relative perturbation is possible).
+    """
+    import math
+
+    field = PARAMETER_FIELDS.get(parameter)
+    if field is None:
+        raise ValueError(
+            f"unknown parameter {parameter!r}; expected one of "
+            f"{sorted(PARAMETER_FIELDS)}"
+        )
+    current = getattr(model, field)
+    if current == 0:
+        return 0.0
+    up_factor = 1.0 + relative_step
+    down_factor = 1.0 - relative_step
+    metric_up = metric(_perturbed(model, parameter, up_factor))
+    metric_down = metric(_perturbed(model, parameter, down_factor))
+    if metric_up <= 0 or metric_down <= 0:
+        return 0.0
+    return (math.log(metric_up) - math.log(metric_down)) / (
+        math.log(up_factor) - math.log(down_factor)
+    )
+
+
+def parameter_sensitivities(
+    model: FaultModel,
+    metric: Callable[[FaultModel], float] = mirrored_mttdl,
+    relative_step: float = 1e-3,
+) -> Dict[str, float]:
+    """Elasticity of ``metric`` with respect to every model parameter."""
+    return {
+        parameter: elasticity(model, parameter, metric, relative_step)
+        for parameter in PARAMETER_FIELDS
+    }
+
+
+def most_sensitive_parameter(
+    model: FaultModel,
+    metric: Callable[[FaultModel], float] = mirrored_mttdl,
+) -> str:
+    """The parameter whose relative change moves ``metric`` the most."""
+    sensitivities = parameter_sensitivities(model, metric)
+    return max(sensitivities, key=lambda name: abs(sensitivities[name]))

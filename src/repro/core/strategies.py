@@ -1,0 +1,205 @@
+"""Evaluation of the paper's reliability-improvement strategies (§6).
+
+Section 6 of the paper enumerates seven strategies and the model lets us
+quantify each one as a change to the :class:`FaultModel` parameters:
+
+* increase ``MV`` (better hardware),
+* increase ``ML`` (media less subject to corruption / formats less
+  subject to obsolescence),
+* reduce ``MDL`` (audit / scrub more often),
+* reduce ``MRL`` (automate latent-fault repair),
+* reduce ``MRV`` (hot spares),
+* increase the number of replicas,
+* increase ``α`` (make replicas more independent).
+
+:func:`evaluate_strategy` applies one strategy to a model and reports
+the MTTDL before and after, so the strategies can be ranked for a given
+starting point — the paper's conclusion is that detection latency,
+automated repair, and independence dominate.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.mttdl import mirrored_mttdl
+from repro.core.parameters import FaultModel
+from repro.core.replication import replicated_mttdl_from_model
+from repro.core.units import HOURS_PER_YEAR
+
+
+class Strategy(enum.Enum):
+    """The reliability-improvement levers enumerated in Section 6."""
+
+    INCREASE_MV = "increase_mv"
+    INCREASE_ML = "increase_ml"
+    REDUCE_MDL = "reduce_mdl"
+    REDUCE_MRL = "reduce_mrl"
+    REDUCE_MRV = "reduce_mrv"
+    INCREASE_REPLICATION = "increase_replication"
+    INCREASE_INDEPENDENCE = "increase_independence"
+
+
+@dataclass(frozen=True)
+class StrategyOutcome:
+    """Result of applying one strategy with a given improvement factor.
+
+    Attributes:
+        strategy: which lever was applied.
+        factor: the improvement factor applied to the relevant parameter
+            (mean times multiplied, repair/detection times divided,
+            replica count multiplied, correlation factor moved toward 1).
+        baseline_mttdl_hours: MTTDL before the change.
+        improved_mttdl_hours: MTTDL after the change.
+        model: the modified model (for replication strategies this is the
+            unchanged per-replica model; the improvement shows up in the
+            replica count).
+        replicas: replica count used for the evaluation.
+    """
+
+    strategy: Strategy
+    factor: float
+    baseline_mttdl_hours: float
+    improved_mttdl_hours: float
+    model: FaultModel
+    replicas: int = 2
+
+    @property
+    def improvement_ratio(self) -> float:
+        """How many times larger the MTTDL became."""
+        if self.baseline_mttdl_hours == 0:
+            return float("inf")
+        return self.improved_mttdl_hours / self.baseline_mttdl_hours
+
+    @property
+    def improved_mttdl_years(self) -> float:
+        return self.improved_mttdl_hours / HOURS_PER_YEAR
+
+    @property
+    def baseline_mttdl_years(self) -> float:
+        return self.baseline_mttdl_hours / HOURS_PER_YEAR
+
+
+def _apply_strategy(
+    model: FaultModel, strategy: Strategy, factor: float
+) -> FaultModel:
+    """Return the model after applying ``strategy`` with ``factor``."""
+    if factor < 1:
+        raise ValueError("improvement factor must be at least 1")
+    if strategy is Strategy.INCREASE_MV:
+        return replace(model, mean_time_to_visible=model.mean_time_to_visible * factor)
+    if strategy is Strategy.INCREASE_ML:
+        return replace(model, mean_time_to_latent=model.mean_time_to_latent * factor)
+    if strategy is Strategy.REDUCE_MDL:
+        return replace(model, mean_detect_latent=model.mean_detect_latent / factor)
+    if strategy is Strategy.REDUCE_MRL:
+        return replace(model, mean_repair_latent=model.mean_repair_latent / factor)
+    if strategy is Strategy.REDUCE_MRV:
+        return replace(model, mean_repair_visible=model.mean_repair_visible / factor)
+    if strategy is Strategy.INCREASE_INDEPENDENCE:
+        # Move alpha toward 1 by shrinking the "correlation excess"
+        # (1 - alpha would be wrong: alpha is multiplicative, so an
+        # improvement factor f multiplies alpha, capped at 1).
+        return replace(
+            model,
+            correlation_factor=min(1.0, model.correlation_factor * factor),
+        )
+    if strategy is Strategy.INCREASE_REPLICATION:
+        # Replication changes the system, not the per-replica model.
+        return model
+    raise ValueError(f"unknown strategy {strategy!r}")
+
+
+def evaluate_strategy(
+    model: FaultModel,
+    strategy: Strategy,
+    factor: float = 2.0,
+    replicas: int = 2,
+) -> StrategyOutcome:
+    """Apply one strategy and report the MTTDL before and after.
+
+    For :attr:`Strategy.INCREASE_REPLICATION` the ``factor`` is rounded
+    to the number of replicas to add (a factor of 2 doubles the replica
+    count) and the evaluation uses the r-way Eq. 12 model; all other
+    strategies are evaluated on the mirrored-pair Eq. 7 model.
+    """
+    if replicas < 2:
+        raise ValueError("replicas must be at least 2 for a replicated system")
+    if strategy is Strategy.INCREASE_REPLICATION:
+        baseline = replicated_mttdl_from_model(model, replicas)
+        new_replicas = max(replicas + 1, int(round(replicas * factor)))
+        improved = replicated_mttdl_from_model(model, new_replicas)
+        return StrategyOutcome(
+            strategy=strategy,
+            factor=factor,
+            baseline_mttdl_hours=baseline,
+            improved_mttdl_hours=improved,
+            model=model,
+            replicas=new_replicas,
+        )
+    improved_model = _apply_strategy(model, strategy, factor)
+    baseline = mirrored_mttdl(model)
+    improved = mirrored_mttdl(improved_model)
+    return StrategyOutcome(
+        strategy=strategy,
+        factor=factor,
+        baseline_mttdl_hours=baseline,
+        improved_mttdl_hours=improved,
+        model=improved_model,
+        replicas=replicas,
+    )
+
+
+def evaluate_all_strategies(
+    model: FaultModel,
+    factor: float = 2.0,
+    replicas: int = 2,
+    strategies: Optional[Iterable[Strategy]] = None,
+) -> Dict[Strategy, StrategyOutcome]:
+    """Evaluate every strategy with the same improvement factor."""
+    chosen = list(strategies) if strategies is not None else list(Strategy)
+    return {
+        strategy: evaluate_strategy(model, strategy, factor, replicas)
+        for strategy in chosen
+    }
+
+
+def rank_strategies(
+    model: FaultModel, factor: float = 2.0, replicas: int = 2
+) -> List[StrategyOutcome]:
+    """Strategies sorted by decreasing MTTDL improvement ratio."""
+    outcomes = evaluate_all_strategies(model, factor, replicas)
+    return sorted(
+        outcomes.values(), key=lambda outcome: outcome.improvement_ratio, reverse=True
+    )
+
+
+def alpha_lower_bound(model: FaultModel, safety_multiple: float = 10.0) -> float:
+    """The paper's lower bound on the correlation factor (Section 5.4).
+
+    The paper argues the correlated mean time to a second visible fault
+    should be at least an order of magnitude larger than the recovery
+    time (``α · MV ≥ 10 · MRV``), which bounds ``α`` below by
+    ``10 · MRV / MV``.
+    """
+    if safety_multiple <= 0:
+        raise ValueError("safety_multiple must be positive")
+    bound = safety_multiple * model.mean_repair_visible / model.mean_time_to_visible
+    return min(bound, 1.0)
+
+
+def alpha_range_orders_of_magnitude(
+    model: FaultModel, safety_multiple: float = 10.0
+) -> float:
+    """How many orders of magnitude the plausible ``α`` range spans.
+
+    The paper's example gives a range of at least five orders of
+    magnitude (``2e-6`` to 1) for the Cheetah parameters.
+    """
+    lower = alpha_lower_bound(model, safety_multiple)
+    if lower <= 0:
+        return float("inf")
+    return math.log10(1.0 / lower)

@@ -1,0 +1,102 @@
+"""Discrete-event Monte-Carlo simulation of replicated storage.
+
+The analytic model makes several simplifying assumptions (linearised
+window probabilities, exponential processes, multiplicative correlation).
+This subpackage provides an event-driven simulator of a replicated
+storage system in which each replica suffers visible and latent faults,
+latent faults wait for an audit (or access) to be detected, repairs take
+time, and correlation can be modelled either with the paper's
+multiplicative factor or with explicit shared-fate shock events.  It is
+used to validate the closed forms (experiment E11) and to regenerate the
+figures (E9, E10).
+"""
+
+from repro.simulation.engine import SimulationEngine, EventHandle
+from repro.simulation.events import (
+    TraceEventType,
+    TraceEvent,
+    Trace,
+)
+from repro.simulation.rng import RandomStreams
+from repro.simulation.faults import (
+    FaultProcess,
+    ExponentialFaultProcess,
+    WeibullFaultProcess,
+    BathtubFaultProcess,
+)
+from repro.simulation.correlation import (
+    CorrelationModel,
+    IndependentFaults,
+    MultiplicativeCorrelation,
+    SharedFateShocks,
+)
+from repro.simulation.replica import Replica, ReplicaState
+from repro.simulation.scrubbing import (
+    ScrubPolicy,
+    NoScrubbing,
+    PeriodicScrubbing,
+    PoissonScrubbing,
+    OnAccessDetection,
+)
+from repro.simulation.repair import (
+    RepairPolicy,
+    ImmediateRepair,
+    HotSpareRepair,
+    OperatorRepair,
+    OfflineMediaRepair,
+)
+from repro.simulation.system import (
+    ReplicatedStorageSystem,
+    SystemConfig,
+    RunResult,
+    system_from_fault_model,
+)
+from repro.simulation.monte_carlo import (
+    MonteCarloEstimate,
+    estimate_mttdl,
+    estimate_loss_probability,
+    double_fault_combination_counts,
+)
+from repro.simulation.lifetime import (
+    loss_probability_curve,
+    mission_summary,
+)
+
+__all__ = [
+    "SimulationEngine",
+    "EventHandle",
+    "TraceEventType",
+    "TraceEvent",
+    "Trace",
+    "RandomStreams",
+    "FaultProcess",
+    "ExponentialFaultProcess",
+    "WeibullFaultProcess",
+    "BathtubFaultProcess",
+    "CorrelationModel",
+    "IndependentFaults",
+    "MultiplicativeCorrelation",
+    "SharedFateShocks",
+    "Replica",
+    "ReplicaState",
+    "ScrubPolicy",
+    "NoScrubbing",
+    "PeriodicScrubbing",
+    "PoissonScrubbing",
+    "OnAccessDetection",
+    "RepairPolicy",
+    "ImmediateRepair",
+    "HotSpareRepair",
+    "OperatorRepair",
+    "OfflineMediaRepair",
+    "ReplicatedStorageSystem",
+    "SystemConfig",
+    "RunResult",
+    "system_from_fault_model",
+    "MonteCarloEstimate",
+    "estimate_mttdl",
+    "estimate_loss_probability",
+    "double_fault_combination_counts",
+    "loss_probability_curve",
+    "mission_summary",
+]

@@ -1,0 +1,166 @@
+"""Correlation models for the simulator.
+
+The paper models correlation with a single multiplicative factor ``α``
+that accelerates the second fault once a first fault exists.  The
+simulator supports that model directly, plus a more mechanistic
+*shared-fate shock* model (power outages, flash worms, operator errors,
+site disasters) in which an external event hits several replicas at
+once — the kind of correlation Talagala's disk-farm study observed.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.faults import FaultType
+
+
+class CorrelationModel(abc.ABC):
+    """Determines how existing faults accelerate further faults."""
+
+    @abc.abstractmethod
+    def rate_multiplier(self, faulty_replicas: int) -> float:
+        """Factor by which per-replica fault rates are multiplied when
+        ``faulty_replicas`` replicas are currently faulty."""
+
+    def shock_rate(self) -> float:
+        """Arrival rate (per hour) of shared-fate shock events; 0 if none."""
+        return 0.0
+
+    def shock_impact(
+        self, rng: np.random.Generator, replicas: int
+    ) -> Sequence[int]:
+        """Which replica indices a shock damages (empty if no shocks)."""
+        return ()
+
+    def shock_fault_type(self, rng: np.random.Generator) -> FaultType:
+        """Fault type inflicted by a shock."""
+        return FaultType.VISIBLE
+
+
+@dataclass(frozen=True)
+class IndependentFaults(CorrelationModel):
+    """No correlation: replicas fail independently (``α`` = 1)."""
+
+    def rate_multiplier(self, faulty_replicas: int) -> float:
+        return 1.0
+
+
+@dataclass(frozen=True)
+class MultiplicativeCorrelation(CorrelationModel):
+    """The paper's model: rates are divided by ``α`` once a fault exists.
+
+    Attributes:
+        alpha: correlation factor in (0, 1]; smaller is more correlated.
+        compounding: if true, each *additional* existing fault divides the
+            rate by ``α`` again (matching the r-way Eq. 12 derivation,
+            where each successive fault is conditioned on the previous
+            one); if false the acceleration applies once as soon as any
+            fault exists (matching the mirrored-pair Eq. 8).
+    """
+
+    alpha: float
+    compounding: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 < self.alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+
+    def rate_multiplier(self, faulty_replicas: int) -> float:
+        if faulty_replicas <= 0:
+            return 1.0
+        exponent = faulty_replicas if self.compounding else 1
+        return (1.0 / self.alpha) ** exponent
+
+
+@dataclass(frozen=True)
+class SharedFateShocks(CorrelationModel):
+    """Mechanistic correlation: external shocks damage several replicas.
+
+    A Poisson stream of shock events (power failures, operator errors,
+    worms, disasters) arrives at ``shock_mean_time`` intervals.  Each
+    shock damages every replica independently with probability
+    ``hit_probability``; the damage is visible with probability
+    ``visible_probability`` and latent otherwise.  Between shocks the
+    replicas fail independently.
+
+    Attributes:
+        shock_mean_time: mean hours between shocks.
+        hit_probability: probability that a given replica is damaged by a
+            given shock.
+        visible_probability: probability the inflicted damage is a
+            visible fault (otherwise latent).
+        baseline_multiplier: optional residual multiplicative correlation
+            applied on top of the shocks (1.0 = none).
+    """
+
+    shock_mean_time: float
+    hit_probability: float
+    visible_probability: float = 1.0
+    baseline_multiplier: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.shock_mean_time <= 0:
+            raise ValueError("shock_mean_time must be positive")
+        if not 0 <= self.hit_probability <= 1:
+            raise ValueError("hit_probability must be in [0, 1]")
+        if not 0 <= self.visible_probability <= 1:
+            raise ValueError("visible_probability must be in [0, 1]")
+        if self.baseline_multiplier < 1:
+            raise ValueError("baseline_multiplier must be at least 1")
+
+    def rate_multiplier(self, faulty_replicas: int) -> float:
+        if faulty_replicas <= 0:
+            return 1.0
+        return self.baseline_multiplier
+
+    def shock_rate(self) -> float:
+        return 1.0 / self.shock_mean_time
+
+    def shock_impact(
+        self, rng: np.random.Generator, replicas: int
+    ) -> Sequence[int]:
+        return [
+            index
+            for index in range(replicas)
+            if rng.random() < self.hit_probability
+        ]
+
+    def shock_fault_type(self, rng: np.random.Generator) -> FaultType:
+        if rng.random() < self.visible_probability:
+            return FaultType.VISIBLE
+        return FaultType.LATENT
+
+
+@dataclass
+class EmpiricalCorrelationEstimate:
+    """Estimate the paper's ``α`` from simulated (or logged) fault times.
+
+    The paper defines ``α`` through the mean time to a *second* fault
+    while a first fault is outstanding.  Given samples of
+    inter-fault gaps observed while the system was degraded and the
+    unconditional mean time to fault, the implied ``α`` is the ratio of
+    the conditional mean to the unconditional mean (capped at 1).
+    """
+
+    unconditional_mean_time: float
+    degraded_gap_samples: List[float] = field(default_factory=list)
+
+    def add_sample(self, gap_hours: float) -> None:
+        """Record one observed time-to-next-fault while degraded."""
+        if gap_hours < 0:
+            raise ValueError("gap_hours must be non-negative")
+        self.degraded_gap_samples.append(gap_hours)
+
+    def alpha(self) -> Optional[float]:
+        """The implied correlation factor, or None with no samples."""
+        if not self.degraded_gap_samples:
+            return None
+        conditional_mean = float(np.mean(self.degraded_gap_samples))
+        if self.unconditional_mean_time <= 0:
+            raise ValueError("unconditional_mean_time must be positive")
+        return min(conditional_mean / self.unconditional_mean_time, 1.0)

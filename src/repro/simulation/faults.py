@@ -1,0 +1,208 @@
+"""Fault inter-arrival processes for the simulator.
+
+The analytic model assumes memoryless (exponential) fault processes; the
+simulator also offers Weibull and "bathtub" hazards so the sensitivity of
+the paper's conclusions to the exponential assumption can be checked
+(experiment E11).  All processes return inter-arrival times in hours.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class FaultProcess(abc.ABC):
+    """A stochastic process generating times until the next fault."""
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator, age: float = 0.0) -> float:
+        """Draw the time until the next fault, in hours.
+
+        Args:
+            rng: the random generator to draw from.
+            age: how long the component has already survived (hours);
+                only matters for non-memoryless processes.
+        """
+
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """Mean time to fault from age zero, in hours."""
+
+    def rate(self) -> float:
+        """Mean fault rate (per hour) from age zero."""
+        return 1.0 / self.mean()
+
+
+@dataclass(frozen=True)
+class ExponentialFaultProcess(FaultProcess):
+    """Memoryless fault process (the paper's assumption).
+
+    Attributes:
+        mean_time_to_fault: mean inter-arrival time in hours.
+    """
+
+    mean_time_to_fault: float
+
+    def __post_init__(self) -> None:
+        if self.mean_time_to_fault <= 0:
+            raise ValueError("mean_time_to_fault must be positive")
+
+    def sample(self, rng: np.random.Generator, age: float = 0.0) -> float:
+        return float(rng.exponential(self.mean_time_to_fault))
+
+    def mean(self) -> float:
+        return self.mean_time_to_fault
+
+
+@dataclass(frozen=True)
+class WeibullFaultProcess(FaultProcess):
+    """Weibull fault process with conditional sampling given survival.
+
+    A shape below 1 models infant mortality (decreasing hazard); above 1
+    models wear-out (increasing hazard); exactly 1 reduces to the
+    exponential.
+
+    Attributes:
+        shape: Weibull shape parameter ``k``.
+        scale: Weibull scale parameter ``λ`` in hours.
+    """
+
+    shape: float
+    scale: float
+
+    def __post_init__(self) -> None:
+        if self.shape <= 0:
+            raise ValueError("shape must be positive")
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+
+    def sample(self, rng: np.random.Generator, age: float = 0.0) -> float:
+        if age < 0:
+            raise ValueError("age must be non-negative")
+        # Conditional inverse-CDF sampling: given survival to `age`, the
+        # residual time T - age satisfies
+        #   T = scale * (((age/scale)^k - ln U))^(1/k)  for U ~ Uniform(0,1)
+        u = rng.random()
+        base = (age / self.scale) ** self.shape - math.log(max(u, 1e-300))
+        total_life = self.scale * base ** (1.0 / self.shape)
+        return max(total_life - age, 0.0)
+
+    def mean(self) -> float:
+        return self.scale * math.gamma(1.0 + 1.0 / self.shape)
+
+
+@dataclass(frozen=True)
+class BathtubFaultProcess(FaultProcess):
+    """Piecewise "bathtub" hazard: infant mortality, useful life, wear-out.
+
+    The hazard rate is ``infant_rate`` until ``infant_period`` hours,
+    ``useful_rate`` until ``wearout_age`` hours, and ``wearout_rate``
+    afterwards.  The paper's Section 6.5 hardware-diversity discussion
+    notes that drives from one manufacturing batch sit at the same point
+    of this curve, which is one source of correlated faults.
+
+    Attributes:
+        infant_rate: hazard (per hour) during the infant-mortality period.
+        useful_rate: hazard during the useful-life plateau.
+        wearout_rate: hazard after ``wearout_age``.
+        infant_period: length of the infant-mortality period (hours).
+        wearout_age: age at which wear-out begins (hours).
+    """
+
+    infant_rate: float
+    useful_rate: float
+    wearout_rate: float
+    infant_period: float
+    wearout_age: float
+
+    def __post_init__(self) -> None:
+        for name in ("infant_rate", "useful_rate", "wearout_rate"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.infant_period < 0 or self.wearout_age < 0:
+            raise ValueError("periods must be non-negative")
+        if self.wearout_age < self.infant_period:
+            raise ValueError("wearout_age must not precede infant_period")
+
+    def _hazard(self, age: float) -> float:
+        if age < self.infant_period:
+            return self.infant_rate
+        if age < self.wearout_age:
+            return self.useful_rate
+        return self.wearout_rate
+
+    def sample(self, rng: np.random.Generator, age: float = 0.0) -> float:
+        if age < 0:
+            raise ValueError("age must be non-negative")
+        # Piecewise-exponential sampling: draw within the current hazard
+        # segment; if the draw overshoots the segment boundary, move to
+        # the boundary and redraw with the next segment's rate.
+        current_age = age
+        elapsed = 0.0
+        while True:
+            rate = self._hazard(current_age)
+            draw = rng.exponential(1.0 / rate)
+            boundary = self._next_boundary(current_age)
+            if boundary is None or current_age + draw < boundary:
+                return elapsed + draw
+            elapsed += boundary - current_age
+            current_age = boundary
+
+    def _next_boundary(self, age: float) -> float:
+        if age < self.infant_period:
+            return self.infant_period
+        if age < self.wearout_age:
+            return self.wearout_age
+        return None
+
+    def mean(self) -> float:
+        # Mean of the piecewise-exponential lifetime from age zero,
+        # integrating the survival function segment by segment.
+        segments = [
+            (0.0, self.infant_period, self.infant_rate),
+            (self.infant_period, self.wearout_age, self.useful_rate),
+            (self.wearout_age, math.inf, self.wearout_rate),
+        ]
+        total = 0.0
+        log_survival_at_start = 0.0
+        for start, end, rate in segments:
+            if end == math.inf:
+                total += math.exp(log_survival_at_start) / rate
+                break
+            length = end - start
+            total += (
+                math.exp(log_survival_at_start)
+                * (1.0 - math.exp(-rate * length))
+                / rate
+            )
+            log_survival_at_start -= rate * length
+        return total
+
+
+def process_for_mean(
+    mean_time_to_fault: float, distribution: str = "exponential", shape: float = 1.5
+) -> FaultProcess:
+    """Build a fault process with a requested mean.
+
+    Args:
+        mean_time_to_fault: target mean time to fault in hours.
+        distribution: ``"exponential"`` or ``"weibull"``.
+        shape: Weibull shape when ``distribution`` is ``"weibull"``.
+
+    Raises:
+        ValueError: for an unknown distribution name.
+    """
+    if mean_time_to_fault <= 0:
+        raise ValueError("mean_time_to_fault must be positive")
+    if distribution == "exponential":
+        return ExponentialFaultProcess(mean_time_to_fault)
+    if distribution == "weibull":
+        scale = mean_time_to_fault / math.gamma(1.0 + 1.0 / shape)
+        return WeibullFaultProcess(shape=shape, scale=scale)
+    raise ValueError(
+        f"unknown distribution {distribution!r}; expected 'exponential' or 'weibull'"
+    )

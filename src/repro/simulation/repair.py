@@ -1,0 +1,181 @@
+"""Repair policies for the simulator.
+
+The paper's strategy list includes reducing both repair times (``MRV``,
+``MRL``) and making repair automatic rather than operator-driven.  The
+simulator models repair as a sampled duration that can depend on whether
+the fault was visible or latent and on whether a human has to be
+involved; off-line media additionally risk inducing new faults during
+handling (Section 6.2/6.3).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.faults import FaultType
+
+
+class RepairPolicy(abc.ABC):
+    """Produces repair durations and handling-fault risks."""
+
+    @abc.abstractmethod
+    def repair_time(
+        self, rng: np.random.Generator, fault_type: FaultType
+    ) -> float:
+        """Sample the repair duration in hours for a detected fault."""
+
+    def induced_fault_probability(self) -> float:
+        """Probability that performing the repair damages another replica.
+
+        Models the error-prone handling of off-line media the paper
+        describes; zero for on-line automated repair.
+        """
+        return 0.0
+
+    def mean_repair_time(self, fault_type: FaultType) -> float:
+        """Mean repair duration for the given fault type (hours)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ImmediateRepair(RepairPolicy):
+    """Deterministic, fully automated repair.
+
+    Attributes:
+        visible_hours: repair duration for visible faults.
+        latent_hours: repair duration for latent faults.
+    """
+
+    visible_hours: float
+    latent_hours: float
+
+    def __post_init__(self) -> None:
+        if self.visible_hours < 0 or self.latent_hours < 0:
+            raise ValueError("repair durations must be non-negative")
+
+    def repair_time(self, rng: np.random.Generator, fault_type: FaultType) -> float:
+        return (
+            self.visible_hours
+            if fault_type is FaultType.VISIBLE
+            else self.latent_hours
+        )
+
+    def mean_repair_time(self, fault_type: FaultType) -> float:
+        return (
+            self.visible_hours
+            if fault_type is FaultType.VISIBLE
+            else self.latent_hours
+        )
+
+
+@dataclass(frozen=True)
+class HotSpareRepair(RepairPolicy):
+    """Automated repair onto a hot spare; exponential duration.
+
+    Attributes:
+        mean_visible_hours: mean rebuild time after a visible fault.
+        mean_latent_hours: mean re-replication time after a latent fault.
+    """
+
+    mean_visible_hours: float
+    mean_latent_hours: float
+
+    def __post_init__(self) -> None:
+        if self.mean_visible_hours <= 0 or self.mean_latent_hours <= 0:
+            raise ValueError("mean repair durations must be positive")
+
+    def repair_time(self, rng: np.random.Generator, fault_type: FaultType) -> float:
+        mean = self.mean_repair_time(fault_type)
+        return float(rng.exponential(mean))
+
+    def mean_repair_time(self, fault_type: FaultType) -> float:
+        return (
+            self.mean_visible_hours
+            if fault_type is FaultType.VISIBLE
+            else self.mean_latent_hours
+        )
+
+
+@dataclass(frozen=True)
+class OperatorRepair(RepairPolicy):
+    """Repair that waits for a human operator before work can start.
+
+    Attributes:
+        mean_response_hours: mean time for an operator to notice the
+            alert and begin work.
+        mean_repair_hours: mean hands-on repair time once started.
+        mistake_probability: probability that the operator's intervention
+            damages another replica (the correlated human-error channel
+            from Section 4.2).
+    """
+
+    mean_response_hours: float
+    mean_repair_hours: float
+    mistake_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mean_response_hours < 0:
+            raise ValueError("mean_response_hours must be non-negative")
+        if self.mean_repair_hours <= 0:
+            raise ValueError("mean_repair_hours must be positive")
+        if not 0 <= self.mistake_probability <= 1:
+            raise ValueError("mistake_probability must be in [0, 1]")
+
+    def repair_time(self, rng: np.random.Generator, fault_type: FaultType) -> float:
+        response = (
+            float(rng.exponential(self.mean_response_hours))
+            if self.mean_response_hours > 0
+            else 0.0
+        )
+        return response + float(rng.exponential(self.mean_repair_hours))
+
+    def induced_fault_probability(self) -> float:
+        return self.mistake_probability
+
+    def mean_repair_time(self, fault_type: FaultType) -> float:
+        return self.mean_response_hours + self.mean_repair_hours
+
+
+@dataclass(frozen=True)
+class OfflineMediaRepair(RepairPolicy):
+    """Repair from off-line media (tape in secure storage).
+
+    Retrieval, mounting, and restoration all take time, and the handling
+    itself can damage media — the paper's argument for why on-line
+    replicas repair better than off-line backups.
+
+    Attributes:
+        mean_retrieval_hours: mean time to fetch and mount the medium.
+        mean_restore_hours: mean time to restore the data once mounted.
+        handling_fault_probability: probability the handling damages
+            another replica or the backup itself.
+    """
+
+    mean_retrieval_hours: float
+    mean_restore_hours: float
+    handling_fault_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mean_retrieval_hours < 0:
+            raise ValueError("mean_retrieval_hours must be non-negative")
+        if self.mean_restore_hours <= 0:
+            raise ValueError("mean_restore_hours must be positive")
+        if not 0 <= self.handling_fault_probability <= 1:
+            raise ValueError("handling_fault_probability must be in [0, 1]")
+
+    def repair_time(self, rng: np.random.Generator, fault_type: FaultType) -> float:
+        retrieval = (
+            float(rng.exponential(self.mean_retrieval_hours))
+            if self.mean_retrieval_hours > 0
+            else 0.0
+        )
+        return retrieval + float(rng.exponential(self.mean_restore_hours))
+
+    def induced_fault_probability(self) -> float:
+        return self.handling_fault_probability
+
+    def mean_repair_time(self, fault_type: FaultType) -> float:
+        return self.mean_retrieval_hours + self.mean_restore_hours

@@ -1,0 +1,388 @@
+"""Event-driven model of an r-way replicated storage system.
+
+Each replica suffers visible and latent faults drawn from configurable
+fault processes.  Latent faults wait for the audit policy to detect them;
+detected faults are repaired under the repair policy.  Correlation can be
+modelled with the paper's multiplicative factor (fault rates of the
+surviving replicas accelerate once any replica is faulty) or with
+explicit shared-fate shock events.  The data is lost when every replica
+is faulty at the same time — for a mirrored pair this is exactly the
+paper's double-fault event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.faults import FaultType
+from repro.core.parameters import FaultModel
+from repro.simulation.correlation import (
+    CorrelationModel,
+    IndependentFaults,
+    MultiplicativeCorrelation,
+)
+from repro.simulation.engine import EventHandle, SimulationEngine
+from repro.simulation.events import Trace, TraceEventType
+from repro.simulation.faults import ExponentialFaultProcess, FaultProcess
+from repro.simulation.repair import ImmediateRepair, RepairPolicy
+from repro.simulation.replica import Replica, ReplicaState
+from repro.simulation.rng import RandomStreams
+from repro.simulation.scrubbing import (
+    NoScrubbing,
+    PeriodicScrubbing,
+    ScrubPolicy,
+)
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Configuration of a simulated replicated storage system.
+
+    Attributes:
+        replicas: replication degree (>= 1).
+        visible_process: fault process generating visible faults per
+            replica.
+        latent_process: fault process generating latent faults per
+            replica.
+        scrub_policy: when audits happen and how well they detect.
+        repair_policy: how long repairs take and how risky they are.
+        correlation: how faults accelerate or co-occur across replicas.
+        trace: whether to record a full event trace.
+    """
+
+    replicas: int
+    visible_process: FaultProcess
+    latent_process: FaultProcess
+    scrub_policy: ScrubPolicy
+    repair_policy: RepairPolicy
+    correlation: CorrelationModel = field(default_factory=IndependentFaults)
+    trace: bool = False
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise ValueError("replicas must be at least 1")
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated run.
+
+    Attributes:
+        lost: whether the data was lost before the run ended.
+        end_time: the simulated time at which the run ended (the loss
+            time if ``lost``, otherwise the censoring horizon).
+        first_fault_type: for a loss, the type of the earliest
+            still-outstanding fault at the loss instant (the fault that
+            opened the fatal window of vulnerability).
+        final_fault_type: for a loss, the type of the fault that
+            completed the double (or r-fold) fault.
+        visible_faults: total visible faults injected across replicas.
+        latent_faults: total latent faults injected across replicas.
+        repairs: total completed repairs.
+        audits: number of audit passes performed.
+        trace: the event trace, if tracing was enabled.
+    """
+
+    lost: bool
+    end_time: float
+    first_fault_type: Optional[FaultType] = None
+    final_fault_type: Optional[FaultType] = None
+    visible_faults: int = 0
+    latent_faults: int = 0
+    repairs: int = 0
+    audits: int = 0
+    trace: Optional[Trace] = None
+
+
+class ReplicatedStorageSystem:
+    """Simulate one replicated data unit until data loss or a horizon."""
+
+    def __init__(self, config: SystemConfig, streams: RandomStreams) -> None:
+        self._config = config
+        self._streams = streams
+        self._engine = SimulationEngine()
+        self._trace = Trace(enabled=config.trace)
+        self._replicas = [Replica(index=i) for i in range(config.replicas)]
+        self._fault_handles: Dict[Tuple[int, FaultType], EventHandle] = {}
+        self._repair_handles: Dict[int, EventHandle] = {}
+        self._lost = False
+        self._loss_types: Tuple[Optional[FaultType], Optional[FaultType]] = (
+            None,
+            None,
+        )
+        self._audits = 0
+        self._last_repair_time: Dict[int, float] = {i: 0.0 for i in range(config.replicas)}
+
+    # -- public API --------------------------------------------------------
+
+    @property
+    def config(self) -> SystemConfig:
+        return self._config
+
+    @property
+    def trace(self) -> Trace:
+        return self._trace
+
+    @property
+    def replicas(self) -> List[Replica]:
+        return self._replicas
+
+    def run(self, max_time: float) -> RunResult:
+        """Run until data loss or ``max_time`` hours, whichever is first."""
+        if max_time <= 0:
+            raise ValueError("max_time must be positive")
+        self._start()
+        self._engine.run(until=max_time)
+        end_time = self._engine.now if self._lost else max_time
+        return RunResult(
+            lost=self._lost,
+            end_time=end_time,
+            first_fault_type=self._loss_types[0],
+            final_fault_type=self._loss_types[1],
+            visible_faults=sum(r.visible_faults for r in self._replicas),
+            latent_faults=sum(r.latent_faults for r in self._replicas),
+            repairs=sum(r.repairs_completed for r in self._replicas),
+            audits=self._audits,
+            trace=self._trace if self._config.trace else None,
+        )
+
+    # -- setup -------------------------------------------------------------
+
+    def _start(self) -> None:
+        for replica in self._replicas:
+            self._schedule_faults(replica.index)
+        self._schedule_next_audit()
+        shock_rate = self._config.correlation.shock_rate()
+        if shock_rate > 0:
+            self._schedule_next_shock()
+
+    # -- fault scheduling ----------------------------------------------------
+
+    def _faulty_count(self) -> int:
+        return sum(1 for replica in self._replicas if replica.is_faulty)
+
+    def _rate_multiplier(self) -> float:
+        return self._config.correlation.rate_multiplier(self._faulty_count())
+
+    def _schedule_faults(self, index: int) -> None:
+        """(Re)schedule the next visible and latent faults for a replica."""
+        self._cancel_faults(index)
+        replica = self._replicas[index]
+        if replica.is_faulty:
+            return
+        multiplier = self._rate_multiplier()
+        age = self._engine.now - self._last_repair_time[index]
+        for fault_type, process, stream in (
+            (FaultType.VISIBLE, self._config.visible_process, f"visible-{index}"),
+            (FaultType.LATENT, self._config.latent_process, f"latent-{index}"),
+        ):
+            delay = process.sample(self._streams.stream(stream), age=age)
+            if multiplier > 1.0:
+                delay = delay / multiplier
+            handle = self._engine.schedule(
+                delay, lambda i=index, ft=fault_type: self._on_fault(i, ft)
+            )
+            self._fault_handles[(index, fault_type)] = handle
+
+    def _cancel_faults(self, index: int) -> None:
+        for fault_type in (FaultType.VISIBLE, FaultType.LATENT):
+            handle = self._fault_handles.pop((index, fault_type), None)
+            if handle is not None:
+                handle.cancel()
+
+    def _reschedule_healthy_replicas(self) -> None:
+        """Resample pending faults after the correlation regime changed."""
+        for replica in self._replicas:
+            if not replica.is_faulty:
+                self._schedule_faults(replica.index)
+
+    # -- event handlers ------------------------------------------------------
+
+    def _on_fault(self, index: int, fault_type: FaultType, detail: str = "") -> None:
+        if self._lost:
+            return
+        now = self._engine.now
+        replica = self._replicas[index]
+        previously_faulty = self._faulty_count()
+        was_faulty = replica.is_faulty
+        replica.suffer_fault(fault_type, now)
+        self._trace.record(
+            now, TraceEventType.FAULT_OCCURRED, index, fault_type, detail
+        )
+        if not was_faulty:
+            self._cancel_faults(index)
+            if fault_type is FaultType.VISIBLE:
+                self._start_repair(index, fault_type)
+            # Latent faults wait for an audit (or access) to be detected.
+        if self._faulty_count() == len(self._replicas):
+            self._declare_loss(fault_type)
+            return
+        if previously_faulty == 0 and self._faulty_count() > 0:
+            self._reschedule_healthy_replicas()
+
+    def _declare_loss(self, final_fault_type: FaultType) -> None:
+        self._lost = True
+        now = self._engine.now
+        # The fault that opened the fatal window is the oldest outstanding one.
+        oldest: Optional[Replica] = None
+        for replica in self._replicas:
+            if replica.fault_time is None:
+                continue
+            if oldest is None or (
+                oldest.fault_time is not None
+                and replica.fault_time < oldest.fault_time
+            ):
+                oldest = replica
+        first_type = oldest.current_fault_type if oldest is not None else None
+        self._loss_types = (first_type, final_fault_type)
+        self._trace.record(now, TraceEventType.DATA_LOSS, detail="all replicas faulty")
+        self._engine.stop()
+
+    def _start_repair(self, index: int, fault_type: FaultType) -> None:
+        now = self._engine.now
+        self._trace.record(now, TraceEventType.REPAIR_STARTED, index, fault_type)
+        duration = self._config.repair_policy.repair_time(
+            self._streams.stream(f"repair-{index}"), fault_type
+        )
+        induced = self._config.repair_policy.induced_fault_probability()
+        if induced > 0 and self._streams.choice(f"repair-risk-{index}", induced):
+            victim = self._pick_other_healthy_replica(index)
+            if victim is not None:
+                self._on_fault(victim, FaultType.VISIBLE, detail="repair-induced")
+                if self._lost:
+                    return
+        handle = self._engine.schedule(
+            duration, lambda i=index, ft=fault_type: self._on_repair_complete(i, ft)
+        )
+        self._repair_handles[index] = handle
+
+    def _pick_other_healthy_replica(self, index: int) -> Optional[int]:
+        candidates = [
+            replica.index
+            for replica in self._replicas
+            if replica.index != index and not replica.is_faulty
+        ]
+        if not candidates:
+            return None
+        rng = self._streams.stream("victim-choice")
+        return int(candidates[rng.integers(0, len(candidates))])
+
+    def _on_repair_complete(self, index: int, fault_type: FaultType) -> None:
+        if self._lost:
+            return
+        now = self._engine.now
+        replica = self._replicas[index]
+        if not replica.is_faulty:
+            return
+        previously_faulty = self._faulty_count()
+        replica.repair(now)
+        self._last_repair_time[index] = now
+        self._repair_handles.pop(index, None)
+        self._trace.record(now, TraceEventType.REPAIR_COMPLETED, index, fault_type)
+        self._schedule_faults(index)
+        if previously_faulty == 1 and self._faulty_count() == 0:
+            self._reschedule_healthy_replicas()
+
+    # -- audits ---------------------------------------------------------------
+
+    def _schedule_next_audit(self) -> None:
+        delay = self._config.scrub_policy.next_audit_delay(
+            self._streams.stream("audit")
+        )
+        if delay == float("inf"):
+            return
+        self._engine.schedule(delay, self._on_audit)
+
+    def _on_audit(self) -> None:
+        if self._lost:
+            return
+        now = self._engine.now
+        self._audits += 1
+        self._trace.record(now, TraceEventType.AUDIT_PERFORMED)
+        coverage = self._config.scrub_policy.detection_coverage()
+        for replica in self._replicas:
+            if replica.state is ReplicaState.LATENT_UNDETECTED:
+                if coverage >= 1.0 or self._streams.choice("audit-coverage", coverage):
+                    if replica.detect(now):
+                        self._trace.record(
+                            now,
+                            TraceEventType.FAULT_DETECTED,
+                            replica.index,
+                            FaultType.LATENT,
+                        )
+                        self._start_repair(replica.index, FaultType.LATENT)
+                        if self._lost:
+                            return
+        self._schedule_next_audit()
+
+    # -- shocks ---------------------------------------------------------------
+
+    def _schedule_next_shock(self) -> None:
+        rate = self._config.correlation.shock_rate()
+        if rate <= 0:
+            return
+        delay = self._streams.exponential("shock", 1.0 / rate)
+        self._engine.schedule(delay, self._on_shock)
+
+    def _on_shock(self) -> None:
+        if self._lost:
+            return
+        now = self._engine.now
+        rng = self._streams.stream("shock-impact")
+        victims = self._config.correlation.shock_impact(rng, len(self._replicas))
+        self._trace.record(
+            now, TraceEventType.SHOCK_EVENT, detail=f"hit {len(victims)} replicas"
+        )
+        for victim in victims:
+            fault_type = self._config.correlation.shock_fault_type(rng)
+            self._on_fault(int(victim), fault_type, detail="shock")
+            if self._lost:
+                return
+        self._schedule_next_shock()
+
+
+def system_from_fault_model(
+    model: FaultModel,
+    replicas: int = 2,
+    streams: Optional[RandomStreams] = None,
+    audits_per_year: Optional[float] = None,
+    trace: bool = False,
+    use_multiplicative_correlation: bool = True,
+) -> ReplicatedStorageSystem:
+    """Build a simulator matching a :class:`FaultModel` parameter set.
+
+    The scrub interval is derived from the model's ``MDL`` (interval =
+    2 × MDL, the inverse of the paper's "MDL is half the scrub period")
+    unless ``audits_per_year`` overrides it.  Repair times are
+    deterministic at ``MRV`` / ``MRL``.  The paper's multiplicative
+    correlation is applied unless disabled.
+    """
+    if streams is None:
+        streams = RandomStreams(seed=0)
+    if audits_per_year is not None:
+        from repro.simulation.scrubbing import policy_for_audits_per_year
+
+        scrub: ScrubPolicy = policy_for_audits_per_year(audits_per_year)
+    elif model.mean_detect_latent >= model.mean_time_to_latent:
+        scrub = NoScrubbing()
+    else:
+        scrub = PeriodicScrubbing(interval_hours=2.0 * model.mean_detect_latent)
+    correlation: CorrelationModel
+    if use_multiplicative_correlation and model.correlation_factor < 1.0:
+        correlation = MultiplicativeCorrelation(alpha=model.correlation_factor)
+    else:
+        correlation = IndependentFaults()
+    config = SystemConfig(
+        replicas=replicas,
+        visible_process=ExponentialFaultProcess(model.mean_time_to_visible),
+        latent_process=ExponentialFaultProcess(model.mean_time_to_latent),
+        scrub_policy=scrub,
+        repair_policy=ImmediateRepair(
+            visible_hours=model.mean_repair_visible,
+            latent_hours=model.mean_repair_latent,
+        ),
+        correlation=correlation,
+        trace=trace,
+    )
+    return ReplicatedStorageSystem(config, streams)

@@ -1,0 +1,162 @@
+"""Irrecoverable bit error arithmetic (paper Section 6.1).
+
+The paper's comparison: over a 5-year service life that is 99% idle, the
+consumer Barracuda suffers about 8 irrecoverable bit errors and the
+enterprise Cheetah about 6, despite the Cheetah's ten-times-better quoted
+bit error rate and fourteen-times-higher price per byte.  The expected
+error count is simply the number of bits transferred during the active
+fraction of the service life multiplied by the bit error rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.units import HOURS_PER_YEAR
+from repro.storage.drives import BITS_PER_BYTE, DriveSpec
+
+#: The paper's "99% idle" assumption for archival drives.
+PAPER_IDLE_FRACTION = 0.99
+
+#: The paper's 5-year service-life horizon.
+PAPER_SERVICE_YEARS = 5.0
+
+
+def bits_transferred(
+    bandwidth_mb_s: float,
+    duty_cycle: float,
+    duration_hours: float,
+) -> float:
+    """Bits moved at a bandwidth, for a duty cycle, over a duration.
+
+    Args:
+        bandwidth_mb_s: transfer rate in MB/s while active.
+        duty_cycle: fraction of the duration the drive is actively
+            transferring (1 - idle fraction).
+        duration_hours: total elapsed time in hours.
+
+    Raises:
+        ValueError: for non-positive bandwidth/duration or a duty cycle
+            outside [0, 1].
+    """
+    if bandwidth_mb_s <= 0:
+        raise ValueError("bandwidth_mb_s must be positive")
+    if not 0 <= duty_cycle <= 1:
+        raise ValueError("duty_cycle must be in [0, 1]")
+    if duration_hours < 0:
+        raise ValueError("duration_hours must be non-negative")
+    active_seconds = duration_hours * 3600.0 * duty_cycle
+    return bandwidth_mb_s * 1e6 * active_seconds * BITS_PER_BYTE
+
+
+@dataclass(frozen=True)
+class DriveBitErrorResult:
+    """Expected irrecoverable bit errors for one drive over its life.
+
+    Attributes:
+        drive: the drive specification.
+        bits_transferred: bits moved during the active fraction of the
+            service life.
+        expected_bit_errors: bits_transferred times the bit error rate.
+        full_drive_reads: how many times the whole drive could have been
+            read in that active time (a scrubbing-oriented view of the
+            same number).
+    """
+
+    drive: DriveSpec
+    bits_transferred: float
+    expected_bit_errors: float
+    full_drive_reads: float
+
+
+def expected_bit_errors(
+    drive: DriveSpec,
+    idle_fraction: float = PAPER_IDLE_FRACTION,
+    service_years: Optional[float] = None,
+    bandwidth_mb_s: Optional[float] = None,
+) -> DriveBitErrorResult:
+    """Expected irrecoverable bit errors over a drive's service life.
+
+    Args:
+        drive: the drive specification.
+        idle_fraction: fraction of the service life the drive spends
+            idle (the paper uses 0.99).
+        service_years: service life to integrate over; defaults to the
+            drive's own quoted service life.
+        bandwidth_mb_s: transfer rate while active; defaults to the
+            drive's sustained bandwidth.
+    """
+    if not 0 <= idle_fraction <= 1:
+        raise ValueError("idle_fraction must be in [0, 1]")
+    years = service_years if service_years is not None else drive.service_life_years
+    if years <= 0:
+        raise ValueError("service_years must be positive")
+    bandwidth = (
+        bandwidth_mb_s if bandwidth_mb_s is not None else drive.sustained_bandwidth_mb_s
+    )
+    duration_hours = years * HOURS_PER_YEAR
+    bits = bits_transferred(bandwidth, 1.0 - idle_fraction, duration_hours)
+    errors = bits * drive.bit_error_rate
+    reads = bits / drive.capacity_bits
+    return DriveBitErrorResult(
+        drive=drive,
+        bits_transferred=bits,
+        expected_bit_errors=errors,
+        full_drive_reads=reads,
+    )
+
+
+def bit_error_comparison(
+    consumer: DriveSpec,
+    enterprise: DriveSpec,
+    idle_fraction: float = PAPER_IDLE_FRACTION,
+    service_years: float = PAPER_SERVICE_YEARS,
+) -> Dict[str, float]:
+    """The Section 6.1 comparison as a flat dictionary of numbers.
+
+    Keys include each drive's expected bit errors and in-service fault
+    probability, the cost ratio, and the reliability-per-dollar view the
+    paper uses to argue that more consumer replicas beat fewer enterprise
+    drives for archival workloads.
+    """
+    consumer_result = expected_bit_errors(consumer, idle_fraction, service_years)
+    enterprise_result = expected_bit_errors(enterprise, idle_fraction, service_years)
+    cost_ratio = enterprise.cost_ratio_to(consumer)
+    return {
+        "consumer_bit_errors": consumer_result.expected_bit_errors,
+        "enterprise_bit_errors": enterprise_result.expected_bit_errors,
+        "bit_error_ratio": (
+            consumer_result.expected_bit_errors
+            / enterprise_result.expected_bit_errors
+            if enterprise_result.expected_bit_errors > 0
+            else float("inf")
+        ),
+        "consumer_fault_probability": consumer.in_service_fault_probability,
+        "enterprise_fault_probability": enterprise.in_service_fault_probability,
+        "fault_probability_ratio": (
+            consumer.in_service_fault_probability
+            / enterprise.in_service_fault_probability
+            if enterprise.in_service_fault_probability > 0
+            else float("inf")
+        ),
+        "cost_per_gb_ratio": cost_ratio,
+        "consumer_replicas_per_enterprise_dollar": cost_ratio,
+    }
+
+
+def consumer_replicas_affordable(
+    consumer: DriveSpec, enterprise: DriveSpec, dataset_gb: float
+) -> float:
+    """How many consumer-drive replicas the enterprise budget would buy.
+
+    The paper's conclusion in Section 6.1/6.4: for archival workloads,
+    spending the enterprise premium on additional independent consumer
+    replicas yields far more reliability than the enterprise drive's
+    modestly better error rates.
+    """
+    if dataset_gb <= 0:
+        raise ValueError("dataset_gb must be positive")
+    enterprise_budget = dataset_gb * enterprise.price_per_gb
+    consumer_cost_per_replica = dataset_gb * consumer.price_per_gb
+    return enterprise_budget / consumer_cost_per_replica

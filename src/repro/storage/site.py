@@ -1,0 +1,197 @@
+"""Replica placement and independence assessment (paper Section 6.5).
+
+The paper's strategy list ends with "increase the independence of the
+replicas": geographic, administrative, organisational, hardware,
+software, and third-party-component diversity all raise the effective
+correlation factor ``α`` toward 1.  This module represents a replica
+placement as a set of sites with those attributes and scores how
+independent the placement actually is, translating shared dimensions
+into an effective ``α`` for use with the core model — the quantitative
+version of the paper's qualitative checklist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+#: The independence dimensions called out in Section 6.5, with weights
+#: reflecting how strongly the paper (and the studies it cites) tie each
+#: dimension to correlated faults.  Sharing a dimension contributes its
+#: weight to the "correlation pressure" of a replica pair.
+INDEPENDENCE_DIMENSIONS: Dict[str, float] = {
+    "geography": 0.25,
+    "administration": 0.25,
+    "organization": 0.15,
+    "hardware": 0.15,
+    "software": 0.15,
+    "third_party": 0.05,
+}
+
+
+@dataclass(frozen=True)
+class Site:
+    """One location hosting a replica.
+
+    Attributes:
+        name: site label.
+        geography: region / metro identifier.
+        administration: which operations team administers the replica.
+        organization: which legal organisation owns it.
+        hardware: hardware platform / vendor / batch identifier.
+        software: software stack identifier.
+        third_party: critical external dependency (license server, DNS,
+            certificate authority) or "none".
+    """
+
+    name: str
+    geography: str
+    administration: str
+    organization: str
+    hardware: str
+    software: str
+    third_party: str = "none"
+
+
+@dataclass
+class ReplicaPlacement:
+    """A set of sites each holding one replica of the collection."""
+
+    sites: List[Site] = field(default_factory=list)
+
+    def add_site(self, site: Site) -> None:
+        self.sites.append(site)
+
+    @property
+    def replicas(self) -> int:
+        return len(self.sites)
+
+    def shared_dimensions(self, a: Site, b: Site) -> List[str]:
+        """Independence dimensions that two sites fail to diversify."""
+        shared = []
+        for dimension in INDEPENDENCE_DIMENSIONS:
+            if getattr(a, dimension) == getattr(b, dimension):
+                # A shared "none" third-party dependency is not a shared
+                # risk — it means neither site depends on a third party.
+                if dimension == "third_party" and getattr(a, dimension) == "none":
+                    continue
+                shared.append(dimension)
+        return shared
+
+
+@dataclass(frozen=True)
+class IndependenceAssessment:
+    """Summary of how independent a placement's replicas are.
+
+    Attributes:
+        pairwise_scores: for each site pair, the fraction of the
+            (weighted) independence dimensions they share — 0 is fully
+            independent, 1 is fully shared fate.
+        worst_pair: the pair with the highest shared-fate score.
+        mean_shared_fraction: average of the pairwise scores.
+        effective_alpha: the correlation factor implied for the core
+            model (1 = fully independent).
+    """
+
+    pairwise_scores: Dict[Tuple[str, str], float]
+    worst_pair: Tuple[str, str]
+    mean_shared_fraction: float
+    effective_alpha: float
+
+
+def _pair_score(placement: ReplicaPlacement, a: Site, b: Site) -> float:
+    shared = placement.shared_dimensions(a, b)
+    return sum(INDEPENDENCE_DIMENSIONS[dimension] for dimension in shared)
+
+
+def effective_alpha(
+    mean_shared_fraction: float, alpha_floor: float = 1e-3
+) -> float:
+    """Map a shared-fate fraction onto the model's correlation factor.
+
+    Fully independent replicas (shared fraction 0) get ``α`` = 1; fully
+    shared-fate replicas approach ``alpha_floor``.  The mapping is
+    exponential in the shared fraction, reflecting the paper's point that
+    the plausible range of ``α`` spans orders of magnitude.
+    """
+    if not 0 <= mean_shared_fraction <= 1:
+        raise ValueError("mean_shared_fraction must be in [0, 1]")
+    if not 0 < alpha_floor <= 1:
+        raise ValueError("alpha_floor must be in (0, 1]")
+    return float(alpha_floor ** mean_shared_fraction)
+
+
+def assess_independence(
+    placement: ReplicaPlacement, alpha_floor: float = 1e-3
+) -> IndependenceAssessment:
+    """Score a placement's replica independence.
+
+    Raises:
+        ValueError: if the placement has fewer than two sites.
+    """
+    if placement.replicas < 2:
+        raise ValueError("a placement needs at least two sites to assess")
+    scores: Dict[Tuple[str, str], float] = {}
+    for i, a in enumerate(placement.sites):
+        for b in placement.sites[i + 1 :]:
+            scores[(a.name, b.name)] = _pair_score(placement, a, b)
+    worst_pair = max(scores, key=scores.get)
+    mean_shared = sum(scores.values()) / len(scores)
+    return IndependenceAssessment(
+        pairwise_scores=scores,
+        worst_pair=worst_pair,
+        mean_shared_fraction=mean_shared,
+        effective_alpha=effective_alpha(mean_shared, alpha_floor),
+    )
+
+
+def single_site_placement(replicas: int) -> ReplicaPlacement:
+    """A placement with every replica in one machine room.
+
+    The configuration the paper warns about: geographic, administrative,
+    organisational, hardware, and software fate are all shared.
+    """
+    if replicas < 1:
+        raise ValueError("replicas must be at least 1")
+    placement = ReplicaPlacement()
+    for index in range(replicas):
+        placement.add_site(
+            Site(
+                name=f"rack-slot-{index}",
+                geography="hq-machine-room",
+                administration="central-it",
+                organization="single-org",
+                hardware="same-vendor-batch",
+                software="same-stack",
+                third_party="shared-license-server",
+            )
+        )
+    return placement
+
+
+def diversified_placement(replicas: int, regions: Sequence[str] = ()) -> ReplicaPlacement:
+    """A placement following the paper's independence checklist.
+
+    Each replica gets its own region, administrative domain, hardware
+    batch and software stack — the British Library style design the
+    paper holds up as unusual but effective.
+    """
+    if replicas < 1:
+        raise ValueError("replicas must be at least 1")
+    region_names = list(regions) if regions else [f"region-{i}" for i in range(replicas)]
+    if len(region_names) < replicas:
+        raise ValueError("need at least one region per replica")
+    placement = ReplicaPlacement()
+    for index in range(replicas):
+        placement.add_site(
+            Site(
+                name=f"site-{index}",
+                geography=region_names[index],
+                administration=f"ops-team-{index}",
+                organization=f"org-{index % max(replicas, 1)}",
+                hardware=f"vendor-{index}",
+                software=f"stack-{index}",
+                third_party="none",
+            )
+        )
+    return placement

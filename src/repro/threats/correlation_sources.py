@@ -1,0 +1,138 @@
+"""From threat correlation reach to the model's correlation factor.
+
+Section 4.2 of the paper lists the threat classes that produce
+*correlated* faults (disasters, unified administration, shared
+components, shared keys, worms, organisational failure).  Each
+:class:`ThreatProfile` carries a ``correlation_reach`` — the expected
+fraction of replicas a single occurrence touches.  This module combines
+those reaches, weighted by how often each threat strikes, into a single
+"correlation pressure" and the implied multiplicative factor ``α`` for
+the analytic model, and ranks which threats contribute most (so the
+mitigation budget goes where the model says it matters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.threats.taxonomy import ThreatProfile
+
+
+@dataclass(frozen=True)
+class CorrelationPressure:
+    """Aggregate correlation exposure of a threat mix.
+
+    Attributes:
+        weighted_reach: rate-weighted mean correlation reach in [0, 1].
+        implied_alpha: the correlation factor the mix implies for the
+            analytic model (1 = independent).
+        per_threat: (threat, contribution) pairs, largest first, where
+            contribution is the threat's share of the weighted reach.
+    """
+
+    weighted_reach: float
+    implied_alpha: float
+    per_threat: Tuple[Tuple[ThreatProfile, float], ...]
+
+
+def implied_alpha_from_reach(weighted_reach: float, alpha_floor: float = 1e-3) -> float:
+    """Map a weighted correlation reach onto ``α``.
+
+    Zero reach (every fault touches exactly one replica) maps to ``α`` =
+    1; full reach maps to ``alpha_floor``.  The exponential mapping
+    mirrors :func:`repro.storage.site.effective_alpha` so the two
+    independence views (threat-driven and placement-driven) are
+    comparable.
+    """
+    if not 0 <= weighted_reach <= 1:
+        raise ValueError("weighted_reach must be in [0, 1]")
+    if not 0 < alpha_floor <= 1:
+        raise ValueError("alpha_floor must be in (0, 1]")
+    return float(alpha_floor ** weighted_reach)
+
+
+def correlation_pressure(
+    profiles: Iterable[ThreatProfile], alpha_floor: float = 1e-3
+) -> CorrelationPressure:
+    """Aggregate the correlation exposure of a set of threats.
+
+    Each threat's reach is weighted by its occurrence rate, so a frequent
+    low-reach threat (media faults) and a rare total-reach threat (format
+    obsolescence) both register.
+
+    Raises:
+        ValueError: if no profiles are provided.
+    """
+    chosen: List[ThreatProfile] = list(profiles)
+    if not chosen:
+        raise ValueError("at least one threat profile is required")
+    rates = [1.0 / profile.mean_time_to_occurrence for profile in chosen]
+    total_rate = sum(rates)
+    contributions = [
+        rate / total_rate * profile.correlation_reach
+        for rate, profile in zip(rates, chosen)
+    ]
+    weighted_reach = sum(contributions)
+    ranked = tuple(
+        sorted(
+            zip(chosen, contributions), key=lambda pair: pair[1], reverse=True
+        )
+    )
+    return CorrelationPressure(
+        weighted_reach=weighted_reach,
+        implied_alpha=implied_alpha_from_reach(weighted_reach, alpha_floor),
+        per_threat=ranked,
+    )
+
+
+def dominant_correlation_sources(
+    profiles: Iterable[ThreatProfile], top: int = 3
+) -> List[ThreatProfile]:
+    """The ``top`` threats contributing most correlation pressure."""
+    if top < 1:
+        raise ValueError("top must be at least 1")
+    pressure = correlation_pressure(profiles)
+    return [profile for profile, _ in pressure.per_threat[:top]]
+
+
+def mitigation_effect(
+    profiles: Sequence[ThreatProfile],
+    mitigated: ThreatProfile,
+    reach_reduction: float = 0.5,
+    alpha_floor: float = 1e-3,
+) -> Tuple[float, float]:
+    """Effect on ``α`` of mitigating one threat's correlation reach.
+
+    Returns ``(alpha_before, alpha_after)`` where the mitigation scales
+    the chosen threat's reach by ``1 - reach_reduction``.
+
+    Raises:
+        ValueError: if the threat is not in the profile list.
+    """
+    if not 0 <= reach_reduction <= 1:
+        raise ValueError("reach_reduction must be in [0, 1]")
+    if mitigated not in profiles:
+        raise ValueError("the mitigated threat must be one of the profiles")
+    before = correlation_pressure(profiles, alpha_floor).implied_alpha
+    adjusted = []
+    for profile in profiles:
+        if profile is mitigated:
+            adjusted.append(
+                ThreatProfile(
+                    fault_class=profile.fault_class,
+                    fault_type=profile.fault_type,
+                    mean_time_to_occurrence=profile.mean_time_to_occurrence,
+                    mean_detection_time=profile.mean_detection_time,
+                    mean_repair_time=profile.mean_repair_time,
+                    correlation_reach=profile.correlation_reach
+                    * (1.0 - reach_reduction),
+                    description=profile.description,
+                    example=profile.example,
+                    mitigations=profile.mitigations,
+                )
+            )
+        else:
+            adjusted.append(profile)
+    after = correlation_pressure(adjusted, alpha_floor).implied_alpha
+    return before, after

@@ -1,0 +1,160 @@
+"""Threat event timelines for scenario exploration.
+
+Given a set of threat profiles and a horizon, generate a synthetic
+timeline of threat occurrences — which threat, when, visible or latent,
+and how many replicas it touched.  The timelines serve two purposes:
+
+* they drive end-to-end examples (the "what will a 50-year archive
+  actually experience?" narrative in ``examples/archive_threats.py``);
+* they provide the synthetic stand-in for the incident logs the paper's
+  Section 6.7 wants real systems to collect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.faults import FaultClass, FaultType
+from repro.core.units import HOURS_PER_YEAR
+from repro.threats.taxonomy import ThreatProfile, all_threat_profiles
+
+
+@dataclass(frozen=True)
+class ThreatEvent:
+    """One synthetic threat occurrence.
+
+    Attributes:
+        time: occurrence time in hours from the start of the timeline.
+        fault_class: which threat struck.
+        fault_type: how it manifests.
+        replicas_affected: how many replicas it touched.
+        detected_at: when it was (or will be) detected, in hours.
+    """
+
+    time: float
+    fault_class: FaultClass
+    fault_type: FaultType
+    replicas_affected: int
+    detected_at: float
+
+    @property
+    def detection_delay(self) -> float:
+        return self.detected_at - self.time
+
+    @property
+    def is_latent(self) -> bool:
+        return self.fault_type is FaultType.LATENT
+
+
+class ThreatEventGenerator:
+    """Poisson generator of threat events from a set of profiles."""
+
+    def __init__(
+        self,
+        profiles: Optional[Iterable[ThreatProfile]] = None,
+        replicas: int = 3,
+        seed: int = 0,
+    ) -> None:
+        self._profiles: List[ThreatProfile] = (
+            list(profiles) if profiles is not None else all_threat_profiles()
+        )
+        if not self._profiles:
+            raise ValueError("at least one threat profile is required")
+        if replicas < 1:
+            raise ValueError("replicas must be at least 1")
+        self._replicas = replicas
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def profiles(self) -> List[ThreatProfile]:
+        return list(self._profiles)
+
+    def _events_for_profile(
+        self, profile: ThreatProfile, horizon_hours: float
+    ) -> List[ThreatEvent]:
+        events: List[ThreatEvent] = []
+        time = 0.0
+        while True:
+            time += float(self._rng.exponential(profile.mean_time_to_occurrence))
+            if time > horizon_hours:
+                break
+            affected = 1
+            if profile.correlation_reach > 0 and self._replicas > 1:
+                extra = self._rng.binomial(
+                    self._replicas - 1, profile.correlation_reach
+                )
+                affected += int(extra)
+            detection_delay = (
+                float(self._rng.exponential(profile.mean_detection_time))
+                if profile.mean_detection_time > 0
+                else 0.0
+            )
+            events.append(
+                ThreatEvent(
+                    time=time,
+                    fault_class=profile.fault_class,
+                    fault_type=profile.fault_type,
+                    replicas_affected=affected,
+                    detected_at=time + detection_delay,
+                )
+            )
+        return events
+
+    def timeline(self, horizon_years: float) -> List[ThreatEvent]:
+        """All threat events over a horizon, sorted by occurrence time."""
+        if horizon_years <= 0:
+            raise ValueError("horizon_years must be positive")
+        horizon_hours = horizon_years * HOURS_PER_YEAR
+        events: List[ThreatEvent] = []
+        for profile in self._profiles:
+            events.extend(self._events_for_profile(profile, horizon_hours))
+        return sorted(events, key=lambda event: event.time)
+
+
+def sample_threat_timeline(
+    horizon_years: float = 50.0,
+    replicas: int = 3,
+    seed: int = 0,
+    profiles: Optional[Sequence[ThreatProfile]] = None,
+) -> List[ThreatEvent]:
+    """Convenience wrapper: one timeline with the default registry."""
+    generator = ThreatEventGenerator(profiles=profiles, replicas=replicas, seed=seed)
+    return generator.timeline(horizon_years)
+
+
+def summarize_timeline(events: Sequence[ThreatEvent]) -> dict:
+    """Aggregate counts useful for reports and examples.
+
+    Returns a dictionary with per-class counts, the latent fraction, the
+    mean detection delay of latent events, and the count of events that
+    touched more than one replica (the correlated ones).
+    """
+    if not events:
+        return {
+            "total": 0,
+            "by_class": {},
+            "latent_fraction": 0.0,
+            "mean_latent_detection_delay": 0.0,
+            "multi_replica_events": 0,
+        }
+    by_class: dict = {}
+    latent_delays: List[float] = []
+    multi = 0
+    for event in events:
+        by_class[event.fault_class] = by_class.get(event.fault_class, 0) + 1
+        if event.is_latent:
+            latent_delays.append(event.detection_delay)
+        if event.replicas_affected > 1:
+            multi += 1
+    return {
+        "total": len(events),
+        "by_class": by_class,
+        "latent_fraction": len(latent_delays) / len(events),
+        "mean_latent_detection_delay": (
+            float(np.mean(latent_delays)) if latent_delays else 0.0
+        ),
+        "multi_replica_events": multi,
+    }

@@ -1,0 +1,246 @@
+"""Tests for sweeps, model comparison, tables, plotting, and reports."""
+
+import pytest
+
+from repro.analysis.compare import (
+    approximation_error,
+    compare_models,
+    compare_scenarios,
+    paper_agreement,
+)
+from repro.analysis.plotting import (
+    ascii_bar_chart,
+    ascii_histogram,
+    ascii_line_chart,
+    series_to_dict,
+)
+from repro.analysis.report import ExperimentRecord, ExperimentReport, scenario_experiment_report
+from repro.analysis.sweep import (
+    grid_sweep,
+    sweep_audit_rate,
+    sweep_correlation,
+    sweep_parameter,
+    sweep_replication,
+)
+from repro.analysis.tables import format_dict, format_scenario_table, format_sweep, format_table
+from repro.core.parameters import FaultModel
+from repro.core.scenarios import cheetah_scrubbed_scenario, paper_scenarios
+
+
+def model(**overrides):
+    base = dict(
+        mean_time_to_visible=1.4e6,
+        mean_time_to_latent=2.8e5,
+        mean_repair_visible=1.0 / 3.0,
+        mean_repair_latent=1.0 / 3.0,
+        mean_detect_latent=1460.0,
+        correlation_factor=1.0,
+    )
+    base.update(overrides)
+    return FaultModel(**base)
+
+
+class TestSweeps:
+    def test_sweep_parameter_shapes(self):
+        result = sweep_parameter(model(), "MDL", [100.0, 1000.0, 10000.0])
+        assert result.values == [100.0, 1000.0, 10000.0]
+        assert len(result.metric("mttdl_hours")) == 3
+
+    def test_sweep_parameter_monotone_in_mdl(self):
+        result = sweep_parameter(model(), "MDL", [100.0, 1000.0, 10000.0])
+        series = result.metric("mttdl_hours")
+        assert series == sorted(series, reverse=True)
+
+    def test_sweep_parameter_unknown_name(self):
+        with pytest.raises(ValueError):
+            sweep_parameter(model(), "bogus", [1.0])
+
+    def test_sweep_unknown_metric_name(self):
+        result = sweep_parameter(model(), "MDL", [100.0])
+        with pytest.raises(KeyError):
+            result.metric("nope")
+
+    def test_sweep_rows_and_columns(self):
+        result = sweep_audit_rate(model(), [0.0, 3.0, 12.0])
+        rows = result.as_rows()
+        assert len(rows) == 3
+        assert len(rows[0]) == len(result.column_names())
+
+    def test_audit_rate_sweep_monotone(self):
+        result = sweep_audit_rate(model(), [0.0, 1.0, 3.0, 12.0, 52.0])
+        series = result.metric("mttdl_years")
+        assert series == sorted(series)
+
+    def test_audit_rate_sweep_rejects_negative(self):
+        with pytest.raises(ValueError):
+            sweep_audit_rate(model(), [-1.0])
+
+    def test_replication_sweep_keys_and_monotonicity(self):
+        results = sweep_replication(1.4e6, 1.0 / 3.0, 5, correlation_factors=[1.0, 0.01])
+        assert set(results) == {1.0, 0.01}
+        independent = results[1.0].metric("mttdl_hours")
+        correlated = results[0.01].metric("mttdl_hours")
+        assert independent[-1] > correlated[-1]
+
+    def test_correlation_sweep(self):
+        result = sweep_correlation(model(), [0.001, 0.01, 0.1, 1.0])
+        series = result.metric("mttdl_hours")
+        assert series == sorted(series)
+
+    def test_grid_sweep_structure(self):
+        results = grid_sweep(model(), "alpha", [0.1, 1.0], "MDL", [100.0, 1000.0])
+        assert set(results) == {0.1, 1.0}
+        assert len(results[0.1].values) == 2
+
+
+class TestComparison:
+    def test_all_methods_positive_and_same_order(self):
+        comparison = compare_models(model())
+        values = comparison.as_dict()
+        assert all(value > 0 for value in values.values())
+        assert comparison.max_discrepancy_factor() < 5.0
+
+    def test_monte_carlo_optional(self):
+        comparison = compare_models(model())
+        assert comparison.monte_carlo is None
+
+    def test_in_years_scales(self):
+        comparison = compare_models(model())
+        assert comparison.in_years()["markov"] == pytest.approx(
+            comparison.markov / 8760.0
+        )
+
+    def test_compare_scenarios_covers_all(self):
+        comparisons = compare_scenarios(paper_scenarios())
+        assert set(comparisons) == set(paper_scenarios())
+
+    def test_approximation_error_positive_for_scrubbed_scenario(self):
+        # Eq. 10 is optimistic relative to the full Eq. 7 here.
+        assert approximation_error(model()) > 0
+
+    def test_paper_agreement_within_tolerance(self):
+        result = paper_agreement(cheetah_scrubbed_scenario())
+        assert result["within_tolerance"]
+
+    def test_paper_agreement_requires_reference_value(self):
+        scenario = cheetah_scrubbed_scenario()
+        object.__setattr__(scenario, "paper_mttdl_years", None)
+        with pytest.raises(ValueError):
+            paper_agreement(scenario)
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "b"], [[1, 2.5], [3, 4.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].strip().startswith("a")
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_format_table_handles_inf_and_large_numbers(self):
+        text = format_table(["x"], [[float("inf")], [1e12], [1e-9]])
+        assert "inf" in text
+        assert "e" in text
+
+    def test_format_dict(self):
+        text = format_dict({"alpha": 0.1, "beta": 2}, title="params")
+        assert "params" in text
+        assert "alpha" in text
+
+    def test_format_scenario_table_lists_all_scenarios(self):
+        text = format_scenario_table(paper_scenarios())
+        for name in paper_scenarios():
+            assert name in text
+
+    def test_format_sweep(self):
+        sweep = sweep_audit_rate(model(), [1.0, 3.0])
+        text = format_sweep(sweep, title="audits")
+        assert "audits_per_year" in text
+        assert "audits" in text
+
+
+class TestPlotting:
+    def test_line_chart_contains_points(self):
+        chart = ascii_line_chart([1, 2, 3], [10, 20, 30], title="t")
+        assert "*" in chart
+        assert "t" in chart
+
+    def test_line_chart_log_scale(self):
+        chart = ascii_line_chart([1, 2, 3], [1.0, 100.0, 10000.0], log_y=True)
+        assert "*" in chart
+
+    def test_line_chart_validation(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart([1, 2], [1.0])
+        with pytest.raises(ValueError):
+            ascii_line_chart([], [])
+        with pytest.raises(ValueError):
+            ascii_line_chart([1, 2], [0.0, 1.0], log_y=True)
+        with pytest.raises(ValueError):
+            ascii_line_chart([1, 2], [1.0, 2.0], width=5)
+
+    def test_bar_chart(self):
+        chart = ascii_bar_chart(["a", "bb"], [1.0, 4.0])
+        assert "a" in chart and "bb" in chart
+        assert "#" in chart
+
+    def test_bar_chart_validation(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            ascii_bar_chart(["a"], [-1.0])
+        with pytest.raises(ValueError):
+            ascii_bar_chart([], [])
+
+    def test_histogram(self):
+        chart = ascii_histogram([1.0, 1.5, 2.0, 5.0, 5.1], bins=4)
+        assert "#" in chart
+
+    def test_histogram_single_value(self):
+        chart = ascii_histogram([3.0, 3.0, 3.0])
+        assert "3" in chart
+
+    def test_histogram_validation(self):
+        with pytest.raises(ValueError):
+            ascii_histogram([])
+        with pytest.raises(ValueError):
+            ascii_histogram([1.0], bins=0)
+
+    def test_series_to_dict(self):
+        assert series_to_dict([1, 2], [3, 4]) == {1.0: 3.0, 2.0: 4.0}
+        with pytest.raises(ValueError):
+            series_to_dict([1], [1, 2])
+
+
+class TestReports:
+    def test_experiment_record_relative_error(self):
+        record = ExperimentRecord("E1", "x", 100.0, 110.0, "years", True)
+        assert record.relative_error == pytest.approx(0.1)
+
+    def test_experiment_record_no_paper_value(self):
+        record = ExperimentRecord("E9", "shape only", None, 5.0, "count", True)
+        assert record.relative_error is None
+
+    def test_report_grouping_and_rendering(self):
+        report = ExperimentReport()
+        report.add(ExperimentRecord("E1", "a", 1.0, 1.0, "x", True))
+        report.add(ExperimentRecord("E1", "b", 2.0, 2.2, "x", True))
+        report.add(ExperimentRecord("E2", "c", None, 3.0, "x", False))
+        grouped = report.by_experiment()
+        assert len(grouped["E1"]) == 2
+        assert not report.all_shapes_hold()
+        rendered = report.render()
+        assert "experiment" in rendered and "E2" in rendered
+
+    def test_scenario_report_reproduces_paper(self):
+        report = scenario_experiment_report()
+        assert report.all_shapes_hold()
+        errors = [
+            record.relative_error
+            for record in report.records
+            if record.relative_error is not None
+        ]
+        assert errors and max(errors) < 0.05

@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.core.parameters import FaultModel
+from repro.core.scenarios import (
+    cheetah_correlated_scenario,
+    cheetah_negligent_scenario,
+    cheetah_no_scrub_scenario,
+    cheetah_scrubbed_scenario,
+)
+
+
+@pytest.fixture
+def cheetah_scrubbed_model() -> FaultModel:
+    """The paper's scrubbed Cheetah mirrored pair (Section 5.4)."""
+    return cheetah_scrubbed_scenario().model
+
+
+@pytest.fixture
+def cheetah_no_scrub_model() -> FaultModel:
+    """The paper's unscrubbed Cheetah mirrored pair (Section 5.4)."""
+    return cheetah_no_scrub_scenario().model
+
+
+@pytest.fixture
+def cheetah_correlated_model() -> FaultModel:
+    """Scrubbed pair with correlation factor 0.1."""
+    return cheetah_correlated_scenario().model
+
+
+@pytest.fixture
+def cheetah_negligent_model() -> FaultModel:
+    """Rare latent faults that are never proactively detected."""
+    return cheetah_negligent_scenario().model
+
+
+@pytest.fixture
+def fast_model() -> FaultModel:
+    """A scaled-down model whose MTTDL is short enough for quick simulation.
+
+    Fault mean times are in the hundreds of hours so Monte-Carlo runs
+    converge in milliseconds while preserving the paper's structure
+    (latent faults five times as frequent as visible ones, scrubbing
+    interval well below the latent mean time).
+    """
+    return FaultModel(
+        mean_time_to_visible=500.0,
+        mean_time_to_latent=100.0,
+        mean_repair_visible=1.0,
+        mean_repair_latent=1.0,
+        mean_detect_latent=5.0,
+        correlation_factor=1.0,
+    )

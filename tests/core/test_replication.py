@@ -1,0 +1,164 @@
+"""Tests for the r-way replication model (Eq. 12)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.parameters import FaultModel
+from repro.core.replication import (
+    effective_replicas,
+    replicas_needed_for_target,
+    replicated_mttdl,
+    replicated_mttdl_from_model,
+    replication_gain,
+    replication_sweep,
+)
+
+MV = 1.4e6
+MRV = 1.0 / 3.0
+
+
+class TestEquation12:
+    def test_single_replica_is_mean_time_to_fault(self):
+        assert replicated_mttdl(MV, MRV, 1) == MV
+
+    def test_mirrored_formula(self):
+        assert replicated_mttdl(MV, MRV, 2) == pytest.approx(MV ** 2 / MRV)
+
+    def test_general_formula(self):
+        r = 4
+        alpha = 0.3
+        expected = alpha ** (r - 1) * MV ** r / MRV ** (r - 1)
+        assert replicated_mttdl(MV, MRV, r, alpha) == pytest.approx(expected)
+
+    def test_correlation_offsets_replication(self):
+        # Paper Section 5.5: with strong correlation, adding replicas
+        # buys little.  At alpha = MRV/MV every extra replica buys
+        # nothing at all.
+        alpha = MRV / MV
+        assert replicated_mttdl(MV, MRV, 5, alpha) == pytest.approx(MV)
+
+    def test_zero_repair_time_gives_infinite_mttdl(self):
+        assert replicated_mttdl(MV, 0.0, 3) == float("inf")
+
+    @pytest.mark.parametrize("replicas", [0, -1])
+    def test_rejects_bad_replica_count(self, replicas):
+        with pytest.raises(ValueError):
+            replicated_mttdl(MV, MRV, replicas)
+
+    def test_rejects_bad_mean_time(self):
+        with pytest.raises(ValueError):
+            replicated_mttdl(0.0, MRV, 2)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            replicated_mttdl(MV, MRV, 2, correlation_factor=0.0)
+
+
+class TestReplicationGain:
+    def test_gain_is_alpha_mv_over_mrv(self):
+        gain = replication_gain(MV, MRV, 2, correlation_factor=0.5)
+        assert gain == pytest.approx(0.5 * MV / MRV)
+
+    def test_gain_independent_of_starting_degree(self):
+        assert replication_gain(MV, MRV, 2) == pytest.approx(
+            replication_gain(MV, MRV, 5)
+        )
+
+    def test_strong_correlation_erodes_gain(self):
+        assert replication_gain(MV, MRV, 2, 0.001) < replication_gain(MV, MRV, 2, 1.0)
+
+
+class TestReplicasNeeded:
+    def test_target_below_single_copy_needs_one(self):
+        assert replicas_needed_for_target(MV, MRV, MV / 2) == 1
+
+    def test_mirrored_target(self):
+        target = MV ** 2 / MRV * 0.9
+        assert replicas_needed_for_target(MV, MRV, target) == 2
+
+    def test_unreachable_target_raises(self):
+        # With alpha = MRV/MV extra replicas add nothing, so an
+        # out-of-reach target must raise.
+        with pytest.raises(ValueError):
+            replicas_needed_for_target(
+                MV, MRV, MV * 10, correlation_factor=MRV / MV, max_replicas=16
+            )
+
+    def test_rejects_non_positive_target(self):
+        with pytest.raises(ValueError):
+            replicas_needed_for_target(MV, MRV, 0.0)
+
+    @given(
+        alpha=st.floats(min_value=0.01, max_value=1.0),
+        target_exponent=st.integers(min_value=6, max_value=12),
+    )
+    @settings(max_examples=30)
+    def test_returned_degree_meets_target_property(self, alpha, target_exponent):
+        target = 10.0 ** target_exponent
+        try:
+            needed = replicas_needed_for_target(MV, MRV, target, alpha)
+        except ValueError:
+            return
+        assert replicated_mttdl(MV, MRV, needed, alpha) >= target
+        if needed > 1:
+            assert replicated_mttdl(MV, MRV, needed - 1, alpha) < target
+
+
+class TestSweepAndModelDriven:
+    def test_sweep_length_and_monotonicity(self):
+        sweep = replication_sweep(MV, MRV, 6)
+        assert len(sweep) == 6
+        assert all(b >= a for a, b in zip(sweep, sweep[1:]))
+
+    def test_sweep_rejects_bad_max(self):
+        with pytest.raises(ValueError):
+            replication_sweep(MV, MRV, 0)
+
+    def test_model_driven_uses_combined_rate(self):
+        model = FaultModel(
+            mean_time_to_visible=1.4e6,
+            mean_time_to_latent=2.8e5,
+            mean_repair_visible=MRV,
+            mean_repair_latent=MRV,
+            mean_detect_latent=0.0,
+            correlation_factor=1.0,
+        )
+        combined = 1.0 / (1.0 / 1.4e6 + 1.0 / 2.8e5)
+        assert replicated_mttdl_from_model(model, 2) == pytest.approx(
+            combined ** 2 / MRV
+        )
+
+
+class TestEffectiveReplicas:
+    def test_independent_system_has_full_effectiveness(self):
+        assert effective_replicas(3, 1.0, MV, MRV) == pytest.approx(3.0)
+
+    def test_correlated_system_worth_fewer_replicas(self):
+        assert effective_replicas(3, 0.001, MV, MRV) < 3.0
+
+    def test_at_least_one_replica(self):
+        assert effective_replicas(4, 0.001, MV, MRV) >= 1.0
+
+
+@given(
+    replicas=st.integers(min_value=1, max_value=8),
+    alpha=st.floats(min_value=0.001, max_value=1.0),
+)
+@settings(max_examples=60)
+def test_mttdl_monotone_in_replicas_property(replicas, alpha):
+    assert replicated_mttdl(MV, MRV, replicas + 1, alpha) >= replicated_mttdl(
+        MV, MRV, replicas, alpha
+    )
+
+
+@given(
+    replicas=st.integers(min_value=2, max_value=8),
+    alpha1=st.floats(min_value=0.001, max_value=1.0),
+    alpha2=st.floats(min_value=0.001, max_value=1.0),
+)
+@settings(max_examples=60)
+def test_mttdl_monotone_in_alpha_property(replicas, alpha1, alpha2):
+    low, high = sorted((alpha1, alpha2))
+    assert replicated_mttdl(MV, MRV, replicas, low) <= replicated_mttdl(
+        MV, MRV, replicas, high
+    )

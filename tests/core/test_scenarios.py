@@ -1,0 +1,143 @@
+"""Tests for the Section 5.4 worked-example scenarios.
+
+These are the headline reproduction tests: each scenario must reproduce
+the MTTDL and 50-year loss probability the paper quotes when evaluated
+with the paper's own method.
+"""
+
+import pytest
+
+from repro.core.scenarios import (
+    CHEETAH_LATENT_MTTF_HOURS,
+    CHEETAH_MTTF_HOURS,
+    CHEETAH_REPAIR_HOURS,
+    SCRUB_THREE_PER_YEAR_MDL_HOURS,
+    cheetah_correlated_scenario,
+    cheetah_negligent_scenario,
+    cheetah_no_scrub_scenario,
+    cheetah_scrubbed_scenario,
+    paper_scenarios,
+)
+
+
+class TestScenarioParameters:
+    def test_cheetah_mttf_matches_datasheet(self):
+        assert CHEETAH_MTTF_HOURS == 1.4e6
+
+    def test_latent_faults_five_times_as_frequent(self):
+        assert CHEETAH_MTTF_HOURS / CHEETAH_LATENT_MTTF_HOURS == pytest.approx(5.0)
+
+    def test_repair_time_is_twenty_minutes(self):
+        assert CHEETAH_REPAIR_HOURS == pytest.approx(20.0 / 60.0)
+
+    def test_scrub_three_times_a_year_gives_1460_hours(self):
+        assert SCRUB_THREE_PER_YEAR_MDL_HOURS == pytest.approx(1460.0)
+
+    def test_correlated_scenario_uses_alpha_point_one(self):
+        assert cheetah_correlated_scenario().model.correlation_factor == 0.1
+
+    def test_negligent_scenario_uses_rare_latent_faults(self):
+        assert cheetah_negligent_scenario().model.mean_time_to_latent == 1.4e7
+
+
+class TestPaperMttdlReproduction:
+    """The four headline numbers of Section 5.4."""
+
+    def test_no_scrub_32_years(self):
+        scenario = cheetah_no_scrub_scenario()
+        assert scenario.paper_method_mttdl_years() == pytest.approx(32.0, rel=0.005)
+
+    def test_scrubbed_6128_years(self):
+        scenario = cheetah_scrubbed_scenario()
+        assert scenario.paper_method_mttdl_years() == pytest.approx(6128.7, rel=0.001)
+
+    def test_correlated_612_years(self):
+        scenario = cheetah_correlated_scenario()
+        assert scenario.paper_method_mttdl_years() == pytest.approx(612.9, rel=0.001)
+
+    def test_negligent_159_years(self):
+        scenario = cheetah_negligent_scenario()
+        assert scenario.paper_method_mttdl_years() == pytest.approx(159.8, rel=0.001)
+
+
+class TestPaperLossProbabilityReproduction:
+    def test_no_scrub_79_percent(self):
+        scenario = cheetah_no_scrub_scenario()
+        assert scenario.paper_method_loss_probability() == pytest.approx(
+            0.79, abs=0.005
+        )
+
+    def test_scrubbed_under_one_percent(self):
+        scenario = cheetah_scrubbed_scenario()
+        assert scenario.paper_method_loss_probability() == pytest.approx(
+            0.008, abs=0.001
+        )
+
+    def test_correlated_7_8_percent(self):
+        scenario = cheetah_correlated_scenario()
+        assert scenario.paper_method_loss_probability() == pytest.approx(
+            0.078, abs=0.002
+        )
+
+    def test_negligent_26_8_percent(self):
+        scenario = cheetah_negligent_scenario()
+        assert scenario.paper_method_loss_probability() == pytest.approx(
+            0.268, abs=0.003
+        )
+
+
+class TestFullModelAgreement:
+    """The library's default (full Eq. 7) evaluation should stay within a
+    small factor of the paper's approximation-based numbers."""
+
+    @pytest.mark.parametrize(
+        "scenario_factory, max_ratio",
+        [
+            (cheetah_no_scrub_scenario, 1.05),
+            (cheetah_scrubbed_scenario, 1.3),
+            (cheetah_correlated_scenario, 1.3),
+            (cheetah_negligent_scenario, 11.0),
+        ],
+    )
+    def test_full_vs_paper_method(self, scenario_factory, max_ratio):
+        scenario = scenario_factory()
+        full = scenario.mttdl_years()
+        paper_method = scenario.paper_method_mttdl_years()
+        ratio = max(full, paper_method) / min(full, paper_method)
+        assert ratio <= max_ratio
+
+    def test_ordering_of_scenarios_preserved(self):
+        # The paper's qualitative ranking: scrubbed > correlated >
+        # negligent > unscrubbed ... except the negligent case swaps with
+        # no-scrub depending on evaluation; the key orderings are that
+        # the scrubbed system is best and the unscrubbed system is worst
+        # among the alpha=1 variants.
+        scrubbed = cheetah_scrubbed_scenario().mttdl_years()
+        correlated = cheetah_correlated_scenario().mttdl_years()
+        unscrubbed = cheetah_no_scrub_scenario().mttdl_years()
+        assert scrubbed > correlated > unscrubbed
+
+
+class TestScenarioRegistry:
+    def test_registry_contains_all_four(self):
+        scenarios = paper_scenarios()
+        assert set(scenarios) == {
+            "cheetah_no_scrub",
+            "cheetah_scrubbed",
+            "cheetah_correlated",
+            "cheetah_negligent",
+        }
+
+    def test_registry_values_are_self_consistent(self):
+        for name, scenario in paper_scenarios().items():
+            assert scenario.name == name
+            assert scenario.paper_mttdl_years is not None
+            assert scenario.paper_loss_probability_50yr is not None
+
+    def test_loss_probability_uses_50_year_default(self):
+        scenario = cheetah_scrubbed_scenario()
+        assert scenario.loss_probability() == scenario.loss_probability(50.0)
+
+    def test_longer_missions_are_riskier(self):
+        scenario = cheetah_scrubbed_scenario()
+        assert scenario.loss_probability(100.0) > scenario.loss_probability(10.0)

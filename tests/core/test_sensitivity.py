@@ -1,0 +1,78 @@
+"""Tests for parameter sensitivity / elasticity analysis."""
+
+import pytest
+
+from repro.core.parameters import FaultModel
+from repro.core.sensitivity import (
+    elasticity,
+    most_sensitive_parameter,
+    parameter_sensitivities,
+)
+
+
+def model(**overrides):
+    base = dict(
+        mean_time_to_visible=1.4e6,
+        mean_time_to_latent=2.8e5,
+        mean_repair_visible=1.0 / 3.0,
+        mean_repair_latent=1.0 / 3.0,
+        mean_detect_latent=1460.0,
+        correlation_factor=0.5,
+    )
+    base.update(overrides)
+    return FaultModel(**base)
+
+
+class TestElasticity:
+    def test_alpha_elasticity_is_one(self):
+        # MTTDL is exactly linear in alpha in the scrubbed regime.
+        assert elasticity(model(), "alpha") == pytest.approx(1.0, abs=0.02)
+
+    def test_ml_elasticity_near_two_in_latent_dominated_regime(self):
+        # Eq. 10: MTTDL ~ ML^2.  The full Eq. 7 evaluation keeps the MV
+        # cross-terms, so the elasticity sits a little below 2.
+        assert 1.6 <= elasticity(model(), "ML") <= 2.05
+
+    def test_mdl_elasticity_near_minus_one(self):
+        # Eq. 10: MTTDL ~ 1 / (MRL + MDL), with MDL >> MRL.
+        assert elasticity(model(), "MDL") == pytest.approx(-1.0, abs=0.05)
+
+    def test_mv_elasticity_small_in_latent_dominated_regime(self):
+        assert abs(elasticity(model(), "MV")) < 0.2
+
+    def test_mrv_elasticity_near_minus_one_when_visible_dominates(self):
+        visible_dominated = model(
+            mean_time_to_latent=1e12, mean_detect_latent=0.0, correlation_factor=1.0
+        )
+        assert elasticity(visible_dominated, "MRV") == pytest.approx(-1.0, abs=0.05)
+
+    def test_unknown_parameter_raises(self):
+        with pytest.raises(ValueError):
+            elasticity(model(), "XYZ")
+
+    def test_zero_valued_parameter_returns_zero(self):
+        no_detection_delay = model(mean_detect_latent=0.0)
+        assert elasticity(no_detection_delay, "MDL") == 0.0
+
+    def test_custom_metric(self):
+        # Elasticity of a constant metric is zero.
+        assert elasticity(model(), "ML", metric=lambda m: 42.0) == 0.0
+
+
+class TestSensitivityTable:
+    def test_contains_every_parameter(self):
+        table = parameter_sensitivities(model())
+        assert set(table) == {"MV", "ML", "MRV", "MRL", "MDL", "alpha"}
+
+    def test_most_sensitive_is_ml_in_latent_dominated_regime(self):
+        assert most_sensitive_parameter(model()) == "ML"
+
+    def test_most_sensitive_is_mv_in_visible_dominated_regime(self):
+        visible_dominated = model(
+            mean_time_to_latent=1e12, mean_detect_latent=0.0, correlation_factor=1.0
+        )
+        assert most_sensitive_parameter(visible_dominated) == "MV"
+
+    def test_sensitivities_are_finite(self):
+        table = parameter_sensitivities(model())
+        assert all(abs(value) < 10 for value in table.values())

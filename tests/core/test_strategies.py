@@ -1,0 +1,126 @@
+"""Tests for the Section 6 strategy evaluation."""
+
+import pytest
+
+from repro.core.parameters import FaultModel
+from repro.core.strategies import (
+    Strategy,
+    alpha_lower_bound,
+    alpha_range_orders_of_magnitude,
+    evaluate_all_strategies,
+    evaluate_strategy,
+    rank_strategies,
+)
+
+
+def model(**overrides):
+    base = dict(
+        mean_time_to_visible=1.4e6,
+        mean_time_to_latent=2.8e5,
+        mean_repair_visible=1.0 / 3.0,
+        mean_repair_latent=1.0 / 3.0,
+        mean_detect_latent=1460.0,
+        correlation_factor=0.5,
+    )
+    base.update(overrides)
+    return FaultModel(**base)
+
+
+class TestSingleStrategies:
+    def test_reduce_mdl_improves_mttdl(self):
+        outcome = evaluate_strategy(model(), Strategy.REDUCE_MDL, factor=2.0)
+        assert outcome.improvement_ratio > 1.0
+
+    def test_increase_ml_improves_mttdl(self):
+        outcome = evaluate_strategy(model(), Strategy.INCREASE_ML, factor=2.0)
+        assert outcome.improvement_ratio > 1.0
+
+    def test_increase_independence_caps_alpha_at_one(self):
+        outcome = evaluate_strategy(
+            model(correlation_factor=0.8), Strategy.INCREASE_INDEPENDENCE, factor=4.0
+        )
+        assert outcome.model.correlation_factor == 1.0
+
+    def test_increase_independence_improvement_matches_alpha_change(self):
+        outcome = evaluate_strategy(
+            model(correlation_factor=0.25), Strategy.INCREASE_INDEPENDENCE, factor=2.0
+        )
+        assert outcome.improvement_ratio == pytest.approx(2.0, rel=0.01)
+
+    def test_reduce_mrv_touches_only_visible_repair(self):
+        outcome = evaluate_strategy(model(), Strategy.REDUCE_MRV, factor=4.0)
+        assert outcome.model.mean_repair_visible == pytest.approx(1.0 / 12.0)
+        assert outcome.model.mean_repair_latent == pytest.approx(1.0 / 3.0)
+
+    def test_increase_replication_uses_replica_count(self):
+        outcome = evaluate_strategy(
+            model(), Strategy.INCREASE_REPLICATION, factor=2.0, replicas=2
+        )
+        assert outcome.replicas == 4
+        assert outcome.improvement_ratio > 1.0
+
+    def test_rejects_factor_below_one(self):
+        with pytest.raises(ValueError):
+            evaluate_strategy(model(), Strategy.REDUCE_MDL, factor=0.5)
+
+    def test_rejects_single_replica_system(self):
+        with pytest.raises(ValueError):
+            evaluate_strategy(model(), Strategy.REDUCE_MDL, replicas=1)
+
+    def test_outcome_years_properties(self):
+        outcome = evaluate_strategy(model(), Strategy.REDUCE_MDL, factor=2.0)
+        assert outcome.improved_mttdl_years == pytest.approx(
+            outcome.improved_mttdl_hours / 8760.0
+        )
+        assert outcome.baseline_mttdl_years == pytest.approx(
+            outcome.baseline_mttdl_hours / 8760.0
+        )
+
+
+class TestStrategyComparison:
+    def test_all_strategies_evaluated(self):
+        outcomes = evaluate_all_strategies(model())
+        assert set(outcomes) == set(Strategy)
+
+    def test_no_strategy_hurts(self):
+        outcomes = evaluate_all_strategies(model(), factor=2.0)
+        for outcome in outcomes.values():
+            assert outcome.improvement_ratio >= 0.999
+
+    def test_ranking_sorted_by_improvement(self):
+        ranked = rank_strategies(model(), factor=2.0)
+        ratios = [outcome.improvement_ratio for outcome in ranked]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_paper_conclusion_detection_beats_better_hardware(self):
+        # In the latent-dominated regime the paper concludes that
+        # reducing the detection time matters more than improving the
+        # visible-fault hardware.
+        outcomes = evaluate_all_strategies(model(), factor=2.0)
+        assert (
+            outcomes[Strategy.REDUCE_MDL].improvement_ratio
+            > outcomes[Strategy.INCREASE_MV].improvement_ratio
+        )
+
+    def test_subset_of_strategies(self):
+        subset = [Strategy.REDUCE_MDL, Strategy.INCREASE_MV]
+        outcomes = evaluate_all_strategies(model(), strategies=subset)
+        assert set(outcomes) == set(subset)
+
+
+class TestAlphaBounds:
+    def test_paper_lower_bound_value(self):
+        bound = alpha_lower_bound(model())
+        assert bound == pytest.approx(10.0 * (1.0 / 3.0) / 1.4e6, rel=1e-6)
+
+    def test_lower_bound_capped_at_one(self):
+        slow_repair = model(mean_repair_visible=1e6)
+        assert alpha_lower_bound(slow_repair) == 1.0
+
+    def test_range_spans_at_least_five_orders_of_magnitude(self):
+        # The paper quotes "a range of at least 5 orders of magnitude".
+        assert alpha_range_orders_of_magnitude(model()) >= 5.0
+
+    def test_rejects_bad_safety_multiple(self):
+        with pytest.raises(ValueError):
+            alpha_lower_bound(model(), safety_multiple=0.0)

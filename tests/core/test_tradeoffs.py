@@ -1,0 +1,98 @@
+"""Tests for the audit-rate trade-off analysis (Section 6.6)."""
+
+import pytest
+
+from repro.core.parameters import FaultModel
+from repro.core.tradeoffs import (
+    audit_rate_sweep,
+    audit_rate_tradeoff,
+    mdl_for_audit_rate,
+    optimal_audit_rate,
+)
+
+
+def model(**overrides):
+    base = dict(
+        mean_time_to_visible=1.4e6,
+        mean_time_to_latent=2.8e5,
+        mean_repair_visible=1.0 / 3.0,
+        mean_repair_latent=1.0 / 3.0,
+        mean_detect_latent=1460.0,
+        correlation_factor=1.0,
+    )
+    base.update(overrides)
+    return FaultModel(**base)
+
+
+class TestMdlForAuditRate:
+    def test_three_audits_a_year_is_1460_hours(self):
+        assert mdl_for_audit_rate(3.0) == pytest.approx(1460.0)
+
+    def test_more_audits_shorter_delay(self):
+        assert mdl_for_audit_rate(12.0) < mdl_for_audit_rate(3.0)
+
+    def test_zero_audits_is_infinite(self):
+        assert mdl_for_audit_rate(0.0) == float("inf")
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            mdl_for_audit_rate(-1.0)
+
+
+class TestTradeoffEvaluation:
+    def test_no_wear_more_audits_always_better(self):
+        slow = audit_rate_tradeoff(model(), audits_per_year=1.0)
+        fast = audit_rate_tradeoff(model(), audits_per_year=12.0)
+        assert fast.mttdl_hours > slow.mttdl_hours
+
+    def test_zero_audit_rate_uses_fallback_detection_horizon(self):
+        result = audit_rate_tradeoff(model(), audits_per_year=0.0)
+        assert result.mean_detect_latent == model().mean_time_to_latent
+
+    def test_custom_no_audit_horizon(self):
+        result = audit_rate_tradeoff(
+            model(), audits_per_year=0.0, no_audit_detection_horizon=123.0
+        )
+        assert result.mean_detect_latent == 123.0
+
+    def test_wear_reduces_fault_mean_times(self):
+        result = audit_rate_tradeoff(model(), audits_per_year=10.0, wear_per_audit=0.01)
+        assert result.effective_model.mean_time_to_visible < model().mean_time_to_visible
+
+    def test_cost_scales_with_audit_rate(self):
+        result = audit_rate_tradeoff(model(), 6.0, cost_per_audit=25.0)
+        assert result.annual_cost == pytest.approx(150.0)
+
+    def test_mttdl_years_property(self):
+        result = audit_rate_tradeoff(model(), 3.0)
+        assert result.mttdl_years == pytest.approx(result.mttdl_hours / 8760.0)
+
+    def test_rejects_bad_wear(self):
+        with pytest.raises(ValueError):
+            audit_rate_tradeoff(model(), 3.0, wear_per_audit=1.0)
+
+    def test_rejects_negative_cost(self):
+        with pytest.raises(ValueError):
+            audit_rate_tradeoff(model(), 3.0, cost_per_audit=-1.0)
+
+
+class TestSweepAndOptimum:
+    def test_sweep_length(self):
+        rates = [0.0, 1.0, 3.0, 12.0, 52.0]
+        assert len(audit_rate_sweep(model(), rates)) == len(rates)
+
+    def test_without_wear_optimum_is_highest_rate(self):
+        rates = [1.0, 3.0, 12.0, 52.0]
+        best = optimal_audit_rate(model(), rates, wear_per_audit=0.0)
+        assert best.audits_per_year == 52.0
+
+    def test_with_heavy_wear_optimum_is_interior(self):
+        # Strong audit-induced wear makes very frequent auditing
+        # counter-productive — the Section 6.6 balance.
+        rates = [1.0, 3.0, 12.0, 52.0, 365.0]
+        best = optimal_audit_rate(model(), rates, wear_per_audit=0.02)
+        assert best.audits_per_year < 365.0
+
+    def test_empty_rates_raises(self):
+        with pytest.raises(ValueError):
+            optimal_audit_rate(model(), [])

@@ -1,0 +1,172 @@
+"""Tests for the storage-system chain builders."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.parameters import FaultModel
+from repro.core.replication import replicated_mttdl
+from repro.core.units import HOURS_PER_YEAR
+from repro.markov.absorbing import mean_time_to_absorption
+from repro.markov.builders import (
+    HEALTHY,
+    LOST,
+    ONE_LATENT_DETECTED,
+    ONE_LATENT_UNDETECTED,
+    ONE_VISIBLE,
+    build_mirrored_chain,
+    build_replicated_chain,
+    build_scrubbed_chain,
+    mirrored_mttdl_markov,
+    replicated_mttdl_markov,
+)
+
+
+def model(**overrides):
+    base = dict(
+        mean_time_to_visible=1.4e6,
+        mean_time_to_latent=2.8e5,
+        mean_repair_visible=1.0 / 3.0,
+        mean_repair_latent=1.0 / 3.0,
+        mean_detect_latent=1460.0,
+        correlation_factor=1.0,
+    )
+    base.update(overrides)
+    return FaultModel(**base)
+
+
+class TestMirroredChainStructure:
+    def test_has_expected_states(self):
+        chain = build_mirrored_chain(model())
+        for state in (HEALTHY, ONE_VISIBLE, ONE_LATENT_UNDETECTED, ONE_LATENT_DETECTED, LOST):
+            assert state in chain
+
+    def test_lost_is_only_absorbing_state(self):
+        chain = build_mirrored_chain(model())
+        assert chain.absorbing_states == [LOST]
+
+    def test_double_first_fault_rate_doubles_healthy_exit(self):
+        m = model()
+        doubled = build_mirrored_chain(m, double_first_fault_rate=True)
+        single = build_mirrored_chain(m, double_first_fault_rate=False)
+        assert doubled.exit_rate(HEALTHY) == pytest.approx(2.0 * single.exit_rate(HEALTHY))
+
+    def test_correlation_raises_second_fault_rate(self):
+        independent = build_mirrored_chain(model())
+        correlated = build_mirrored_chain(model(correlation_factor=0.1))
+        assert correlated.rate(ONE_VISIBLE, LOST) == pytest.approx(
+            10.0 * independent.rate(ONE_VISIBLE, LOST)
+        )
+
+    def test_zero_detection_time_handled(self):
+        chain = build_mirrored_chain(model(mean_detect_latent=0.0))
+        assert chain.rate(ONE_LATENT_UNDETECTED, ONE_LATENT_DETECTED) > 0
+
+
+class TestMirroredChainMttdl:
+    def test_matches_raid_form_when_latent_negligible(self):
+        m = model(mean_time_to_latent=1e12, mean_detect_latent=0.0)
+        markov = mirrored_mttdl_markov(m)
+        raid = m.mean_time_to_visible ** 2 / (2.0 * m.mean_repair_visible)
+        assert markov == pytest.approx(raid, rel=0.01)
+
+    def test_paper_convention_matches_analytic_within_factor(self):
+        from repro.core.mttdl import mirrored_mttdl
+
+        m = model()
+        markov = mirrored_mttdl_markov(m, double_first_fault_rate=False)
+        analytic = mirrored_mttdl(m)
+        assert 0.8 <= markov / analytic <= 1.3
+
+    def test_scrubbing_improves_markov_mttdl(self):
+        scrubbed = mirrored_mttdl_markov(model(mean_detect_latent=1460.0))
+        unscrubbed = mirrored_mttdl_markov(model(mean_detect_latent=2.8e5))
+        assert scrubbed > 10 * unscrubbed
+
+    def test_correlation_reduces_markov_mttdl(self):
+        base = mirrored_mttdl_markov(model())
+        correlated = mirrored_mttdl_markov(model(correlation_factor=0.1))
+        assert correlated < base
+
+    @given(alpha=st.floats(min_value=0.05, max_value=1.0))
+    @settings(max_examples=20)
+    def test_mttdl_monotone_in_alpha_property(self, alpha):
+        low = mirrored_mttdl_markov(model(correlation_factor=alpha))
+        high = mirrored_mttdl_markov(model(correlation_factor=1.0))
+        assert low <= high * (1 + 1e-9)
+
+
+class TestReplicatedChain:
+    def test_states_are_failure_counts(self):
+        chain = build_replicated_chain(1000.0, 2.0, replicas=3)
+        assert chain.states == [0, 1, 2, 3]
+        assert chain.absorbing_states == [3]
+
+    def test_single_replica_mttdl_is_mean_time_to_fault(self):
+        assert replicated_mttdl_markov(1000.0, 2.0, 1) == pytest.approx(1000.0)
+
+    def test_mirrored_matches_birth_death_closed_form(self):
+        mttf, mttr = 1000.0, 2.0
+        lam, mu = 1.0 / mttf, 1.0 / mttr
+        exact = (mu + 3 * lam) / (2 * lam ** 2)
+        assert replicated_mttdl_markov(mttf, mttr, 2) == pytest.approx(exact, rel=1e-9)
+
+    def test_more_replicas_improves_mttdl(self):
+        two = replicated_mttdl_markov(1000.0, 2.0, 2)
+        three = replicated_mttdl_markov(1000.0, 2.0, 3)
+        assert three > two * 10
+
+    def test_correlation_erodes_replication_gain(self):
+        independent = replicated_mttdl_markov(1000.0, 2.0, 4, correlation_factor=1.0)
+        correlated = replicated_mttdl_markov(1000.0, 2.0, 4, correlation_factor=0.01)
+        assert correlated < independent / 100
+
+    def test_parallel_repair_improves_mttdl(self):
+        serial = replicated_mttdl_markov(1000.0, 20.0, 4, parallel_repair=False)
+        parallel = replicated_mttdl_markov(1000.0, 20.0, 4, parallel_repair=True)
+        assert parallel > serial
+
+    def test_eq12_agrees_with_chain_within_order_of_magnitude(self):
+        # Eq. 12 ignores the survivor-count factor and treats windows as
+        # exactly overlapping; the chain keeps both.  They should agree
+        # within roughly an order of magnitude for modest degrees.
+        mttf, mttr, replicas, alpha = 1.0e5, 5.0, 3, 0.5
+        closed_form = replicated_mttdl(mttf, mttr, replicas, alpha)
+        chain = replicated_mttdl_markov(
+            mttf, mttr, replicas, alpha, scale_fault_rate_with_survivors=False
+        )
+        ratio = max(closed_form, chain) / min(closed_form, chain)
+        assert ratio < 10.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            build_replicated_chain(0.0, 1.0, 2)
+        with pytest.raises(ValueError):
+            build_replicated_chain(10.0, 0.0, 2)
+        with pytest.raises(ValueError):
+            build_replicated_chain(10.0, 1.0, 0)
+        with pytest.raises(ValueError):
+            build_replicated_chain(10.0, 1.0, 2, correlation_factor=0.0)
+
+
+class TestScrubbedChain:
+    def test_scrub_rate_sets_detection_transition(self):
+        chain = build_scrubbed_chain(model(), audits_per_year=3.0)
+        expected_mdl = HOURS_PER_YEAR / 3.0 / 2.0
+        assert chain.rate(ONE_LATENT_UNDETECTED, ONE_LATENT_DETECTED) == pytest.approx(
+            1.0 / expected_mdl
+        )
+
+    def test_zero_audit_rate_uses_latent_mean_time(self):
+        chain = build_scrubbed_chain(model(), audits_per_year=0.0)
+        assert chain.rate(ONE_LATENT_UNDETECTED, ONE_LATENT_DETECTED) == pytest.approx(
+            1.0 / model().mean_time_to_latent
+        )
+
+    def test_negative_audit_rate_rejected(self):
+        with pytest.raises(ValueError):
+            build_scrubbed_chain(model(), audits_per_year=-1.0)
+
+    def test_more_audits_longer_mttdl(self):
+        rare = mean_time_to_absorption(build_scrubbed_chain(model(), 1.0))
+        frequent = mean_time_to_absorption(build_scrubbed_chain(model(), 12.0))
+        assert frequent > rare

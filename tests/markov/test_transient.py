@@ -1,0 +1,111 @@
+"""Tests for transient CTMC analysis."""
+
+import math
+
+import pytest
+
+from repro.markov.chain import MarkovChain
+from repro.markov.transient import (
+    exponentiality_error,
+    instantaneous_loss_rate,
+    loss_probability_over_time,
+    survival_curve,
+    transient_distribution,
+)
+
+
+def two_state_chain(rate=0.01):
+    chain = MarkovChain()
+    chain.add_state("alive")
+    chain.add_state("dead", absorbing=True)
+    chain.add_transition("alive", "dead", rate)
+    return chain
+
+
+def repairable_chain():
+    chain = MarkovChain()
+    chain.add_state("up")
+    chain.add_state("degraded")
+    chain.add_state("lost", absorbing=True)
+    chain.add_transition("up", "degraded", 0.01)
+    chain.add_transition("degraded", "up", 1.0)
+    chain.add_transition("degraded", "lost", 0.02)
+    return chain
+
+
+class TestTransientDistribution:
+    def test_time_zero_is_initial_distribution(self):
+        distribution = transient_distribution(two_state_chain(), 0.0)
+        assert distribution["alive"] == pytest.approx(1.0)
+        assert distribution["dead"] == pytest.approx(0.0)
+
+    def test_matches_exponential_for_pure_death(self):
+        rate = 0.01
+        distribution = transient_distribution(two_state_chain(rate), 50.0)
+        assert distribution["dead"] == pytest.approx(1.0 - math.exp(-rate * 50.0))
+
+    def test_distribution_sums_to_one(self):
+        distribution = transient_distribution(repairable_chain(), 500.0)
+        assert sum(distribution.values()) == pytest.approx(1.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            transient_distribution(two_state_chain(), -1.0)
+
+
+class TestLossProbability:
+    def test_monotone_in_time(self):
+        chain = repairable_chain()
+        times = [10.0, 100.0, 1000.0, 10000.0]
+        probabilities = [loss_probability_over_time(chain, t) for t in times]
+        assert probabilities == sorted(probabilities)
+
+    def test_approaches_one_for_long_horizons(self):
+        chain = repairable_chain()
+        assert loss_probability_over_time(chain, 1e6) > 0.99
+
+    def test_survival_curve_complements_loss(self):
+        chain = repairable_chain()
+        times = [10.0, 100.0, 1000.0]
+        curve = survival_curve(chain, times)
+        for t in times:
+            assert curve[t] == pytest.approx(
+                1.0 - loss_probability_over_time(chain, t)
+            )
+
+    def test_survival_curve_rejects_negative_times(self):
+        with pytest.raises(ValueError):
+            survival_curve(repairable_chain(), [-1.0])
+
+
+class TestHazardRate:
+    def test_pure_death_hazard_is_flat(self):
+        chain = two_state_chain(0.05)
+        early = instantaneous_loss_rate(chain, 1.0)
+        late = instantaneous_loss_rate(chain, 50.0)
+        assert early == pytest.approx(0.05, rel=1e-6)
+        assert late == pytest.approx(0.05, rel=1e-6)
+
+    def test_repairable_chain_hazard_settles_near_inverse_mttdl(self):
+        from repro.markov.absorbing import mean_time_to_absorption
+
+        chain = repairable_chain()
+        mttdl = mean_time_to_absorption(chain)
+        settled = instantaneous_loss_rate(chain, 50.0)
+        assert settled == pytest.approx(1.0 / mttdl, rel=0.05)
+
+
+class TestExponentialityError:
+    def test_pure_death_process_has_negligible_error(self):
+        chain = two_state_chain(0.01)
+        error = exponentiality_error(chain, mttdl=100.0, times=[10.0, 50.0, 200.0])
+        assert error < 1e-9
+
+    def test_error_detects_wrong_mttdl(self):
+        chain = two_state_chain(0.01)
+        error = exponentiality_error(chain, mttdl=10.0, times=[50.0])
+        assert error > 0.3
+
+    def test_rejects_bad_mttdl(self):
+        with pytest.raises(ValueError):
+            exponentiality_error(two_state_chain(), 0.0, [1.0])

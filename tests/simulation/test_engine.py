@@ -1,0 +1,137 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.simulation.engine import SimulationEngine, drain_times
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(5.0, lambda: fired.append("b"))
+        engine.schedule(1.0, lambda: fired.append("a"))
+        engine.schedule(10.0, lambda: fired.append("c"))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_scheduling_order(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append("first"))
+        engine.schedule(1.0, lambda: fired.append("second"))
+        engine.run()
+        assert fired == ["first", "second"]
+
+    def test_now_advances_to_event_time(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.schedule(3.5, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [3.5]
+        assert engine.now == 3.5
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationEngine().schedule(-1.0, lambda: None)
+
+    def test_schedule_in_the_past_rejected(self):
+        engine = SimulationEngine()
+        engine.schedule(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(ValueError):
+            engine.schedule_at(1.0, lambda: None)
+
+    def test_events_scheduled_from_callbacks(self):
+        engine = SimulationEngine()
+        fired = []
+
+        def first():
+            fired.append(("first", engine.now))
+            engine.schedule(2.0, lambda: fired.append(("second", engine.now)))
+
+        engine.schedule(1.0, first)
+        engine.run()
+        assert fired == [("first", 1.0), ("second", 3.0)]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        engine = SimulationEngine()
+        fired = []
+        handle = engine.schedule(1.0, lambda: fired.append("x"))
+        handle.cancel()
+        engine.run()
+        assert fired == []
+
+    def test_drain_times_skips_cancelled(self):
+        engine = SimulationEngine()
+        engine.schedule(1.0, lambda: None)
+        handle = engine.schedule(2.0, lambda: None)
+        handle.cancel()
+        assert drain_times(engine) == (1.0,)
+
+    def test_peek_next_time_skips_cancelled(self):
+        engine = SimulationEngine()
+        handle = engine.schedule(1.0, lambda: None)
+        engine.schedule(5.0, lambda: None)
+        handle.cancel()
+        assert engine.peek_next_time() == 5.0
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        engine.schedule(100.0, lambda: fired.append(2))
+        end = engine.run(until=10.0)
+        assert fired == [1]
+        assert end == 10.0
+        assert engine.pending_events == 1
+
+    def test_run_until_advances_clock_even_with_empty_queue(self):
+        engine = SimulationEngine()
+        end = engine.run(until=42.0)
+        assert end == 42.0
+        assert engine.now == 42.0
+
+    def test_stop_halts_processing(self):
+        engine = SimulationEngine()
+        fired = []
+
+        def first_event():
+            fired.append(1)
+            engine.stop()
+
+        engine.schedule(1.0, first_event)
+        engine.schedule(2.0, lambda: fired.append(2))
+        engine.run()
+        assert fired == [1]
+
+    def test_max_events_limits_processing(self):
+        engine = SimulationEngine()
+        fired = []
+        for i in range(10):
+            engine.schedule(float(i + 1), lambda i=i: fired.append(i))
+        engine.run(max_events=3)
+        assert len(fired) == 3
+
+    def test_events_processed_counter(self):
+        engine = SimulationEngine()
+        for i in range(5):
+            engine.schedule(float(i + 1), lambda: None)
+        engine.run()
+        assert engine.events_processed == 5
+
+    def test_step_returns_false_on_empty_queue(self):
+        assert SimulationEngine().step() is False
+
+    def test_reset_clears_state(self):
+        engine = SimulationEngine()
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        engine.reset()
+        assert engine.now == 0.0
+        assert engine.pending_events == 0
+        assert engine.events_processed == 0

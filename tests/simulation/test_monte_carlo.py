@@ -1,0 +1,194 @@
+"""Tests for the Monte-Carlo estimation harness and lifetime curves."""
+
+import pytest
+
+from repro.core.faults import FaultType
+from repro.core.mttdl import mirrored_mttdl
+from repro.core.parameters import FaultModel
+from repro.simulation.lifetime import (
+    empirical_survival_table,
+    loss_probability_curve,
+    mission_summary,
+)
+from repro.simulation.monte_carlo import (
+    MonteCarloEstimate,
+    double_fault_combination_counts,
+    estimate_loss_probability,
+    estimate_mttdl,
+    run_single_trace,
+)
+
+
+def fast_model(**overrides):
+    base = dict(
+        mean_time_to_visible=500.0,
+        mean_time_to_latent=100.0,
+        mean_repair_visible=1.0,
+        mean_repair_latent=1.0,
+        mean_detect_latent=5.0,
+        correlation_factor=1.0,
+    )
+    base.update(overrides)
+    return FaultModel(**base)
+
+
+class TestMonteCarloEstimate:
+    def test_confidence_interval_brackets_mean(self):
+        estimate = MonteCarloEstimate(mean=100.0, std_error=5.0, trials=50)
+        low, high = estimate.confidence_interval()
+        assert low < 100.0 < high
+        assert high - low == pytest.approx(2 * 1.96 * 5.0)
+
+    def test_relative_error(self):
+        estimate = MonteCarloEstimate(mean=200.0, std_error=10.0, trials=50)
+        assert estimate.relative_error == pytest.approx(0.05)
+
+    def test_relative_error_zero_mean(self):
+        assert MonteCarloEstimate(0.0, 1.0, 10).relative_error == 0.0
+
+
+class TestEstimateMttdl:
+    def test_reproducible_for_same_seed(self):
+        a = estimate_mttdl(fast_model(), trials=30, seed=1, max_time=1e6)
+        b = estimate_mttdl(fast_model(), trials=30, seed=1, max_time=1e6)
+        assert a.mean == b.mean
+
+    def test_agrees_with_analytic_model_within_noise(self):
+        model = fast_model()
+        estimate = estimate_mttdl(model, trials=120, seed=2, max_time=1e6)
+        analytic = mirrored_mttdl(model)
+        # The simulator counts first faults on both copies (factor ~2 vs
+        # the paper's convention) and races detection against the second
+        # fault, so agreement within a factor of ~2.5 is the expectation;
+        # the order of magnitude must match.
+        assert analytic / 3.0 < estimate.mean < analytic * 3.0
+
+    def test_scrubbing_improves_simulated_mttdl(self):
+        base = fast_model()
+        scrubbed = estimate_mttdl(base, trials=60, seed=3, max_time=1e6)
+        unscrubbed = estimate_mttdl(
+            base.with_detection_time(base.mean_time_to_latent),
+            trials=60,
+            seed=3,
+            max_time=1e6,
+        )
+        assert scrubbed.mean > unscrubbed.mean
+
+    def test_censoring_reported(self):
+        # A 10-hour horizon is far below the MTTDL, so essentially every
+        # trial is censored (an occasional early double fault is possible).
+        estimate = estimate_mttdl(fast_model(), trials=20, seed=4, max_time=10.0)
+        assert estimate.censored >= 18
+        assert estimate.mean <= 10.0
+
+    def test_requires_model_or_factory(self):
+        with pytest.raises(ValueError):
+            estimate_mttdl(None, trials=10)
+
+    def test_rejects_non_positive_trials(self):
+        with pytest.raises(ValueError):
+            estimate_mttdl(fast_model(), trials=0)
+
+
+class TestEstimateLossProbability:
+    def test_probability_between_zero_and_one(self):
+        estimate = estimate_loss_probability(
+            fast_model(), mission_time=5000.0, trials=60, seed=5
+        )
+        assert 0.0 <= estimate.mean <= 1.0
+
+    def test_longer_missions_riskier(self):
+        short = estimate_loss_probability(
+            fast_model(), mission_time=1000.0, trials=80, seed=6
+        )
+        long = estimate_loss_probability(
+            fast_model(), mission_time=50000.0, trials=80, seed=6
+        )
+        assert long.mean >= short.mean
+
+    def test_rejects_bad_mission(self):
+        with pytest.raises(ValueError):
+            estimate_loss_probability(fast_model(), mission_time=0.0, trials=10)
+
+
+class TestDoubleFaultCombinations:
+    def test_counts_cover_all_combinations(self):
+        counts = double_fault_combination_counts(
+            fast_model(), trials=60, seed=7, max_time=1e6
+        )
+        assert set(counts) == {
+            (first, second) for first in FaultType for second in FaultType
+        }
+
+    def test_losses_are_counted(self):
+        counts = double_fault_combination_counts(
+            fast_model(), trials=60, seed=7, max_time=1e6
+        )
+        assert sum(counts.values()) > 0
+
+    def test_latent_first_dominates_with_slow_detection(self):
+        model = fast_model(mean_detect_latent=100.0)
+        counts = double_fault_combination_counts(model, trials=80, seed=8, max_time=1e6)
+        latent_first = (
+            counts[(FaultType.LATENT, FaultType.VISIBLE)]
+            + counts[(FaultType.LATENT, FaultType.LATENT)]
+        )
+        visible_first = (
+            counts[(FaultType.VISIBLE, FaultType.VISIBLE)]
+            + counts[(FaultType.VISIBLE, FaultType.LATENT)]
+        )
+        assert latent_first > visible_first
+
+
+class TestSingleTrace:
+    def test_trace_is_returned(self):
+        result = run_single_trace(fast_model(), seed=9, max_time=20000.0)
+        assert result.trace is not None
+        assert len(result.trace) > 0
+
+
+class TestLifetimeCurves:
+    def test_curve_is_monotone(self):
+        horizons = [1000.0, 5000.0, 20000.0, 100000.0]
+        curve = loss_probability_curve(
+            fast_model(), horizons, trials=60, seed=10
+        )
+        probabilities = [point.loss_probability for point in curve]
+        assert probabilities == sorted(probabilities)
+
+    def test_exponential_prediction_attached(self):
+        curve = loss_probability_curve(
+            fast_model(),
+            [1000.0, 10000.0],
+            trials=30,
+            seed=11,
+            analytic_mttdl=mirrored_mttdl(fast_model()),
+        )
+        assert all(point.exponential_prediction is not None for point in curve)
+
+    def test_mission_summary_single_point(self):
+        summary = mission_summary(
+            fast_model(), mission_years=1.0, trials=40, seed=12
+        )
+        assert 0.0 <= summary.loss_probability <= 1.0
+        assert summary.mission_years == pytest.approx(1.0)
+
+    def test_rejects_empty_horizons(self):
+        with pytest.raises(ValueError):
+            loss_probability_curve(fast_model(), [], trials=10)
+
+    def test_rejects_non_positive_horizon(self):
+        with pytest.raises(ValueError):
+            loss_probability_curve(fast_model(), [0.0], trials=10)
+
+    def test_empirical_survival_table(self):
+        table = empirical_survival_table(
+            [10.0, 20.0, float("inf")], horizons=[5.0, 15.0, 25.0]
+        )
+        assert table[5.0] == pytest.approx(1.0)
+        assert table[15.0] == pytest.approx(2.0 / 3.0)
+        assert table[25.0] == pytest.approx(1.0 / 3.0)
+
+    def test_empirical_survival_table_rejects_empty(self):
+        with pytest.raises(ValueError):
+            empirical_survival_table([], [1.0])

@@ -1,0 +1,199 @@
+"""Tests for scrubbing policies, repair policies, and correlation models."""
+
+import numpy as np
+import pytest
+
+from repro.core.faults import FaultType
+from repro.simulation.correlation import (
+    EmpiricalCorrelationEstimate,
+    IndependentFaults,
+    MultiplicativeCorrelation,
+    SharedFateShocks,
+)
+from repro.simulation.repair import (
+    HotSpareRepair,
+    ImmediateRepair,
+    OfflineMediaRepair,
+    OperatorRepair,
+)
+from repro.simulation.scrubbing import (
+    NoScrubbing,
+    OnAccessDetection,
+    PeriodicScrubbing,
+    PoissonScrubbing,
+    policy_for_audits_per_year,
+)
+
+
+class TestScrubPolicies:
+    def test_no_scrubbing_never_audits(self):
+        policy = NoScrubbing()
+        assert policy.next_audit_delay(np.random.default_rng(0)) == float("inf")
+        assert policy.expected_detection_delay() == float("inf")
+        assert policy.audits_per_year() == 0.0
+
+    def test_periodic_delay_is_constant(self):
+        policy = PeriodicScrubbing(interval_hours=100.0)
+        rng = np.random.default_rng(0)
+        assert policy.next_audit_delay(rng) == 100.0
+        assert policy.next_audit_delay(rng) == 100.0
+
+    def test_periodic_expected_delay_half_interval(self):
+        policy = PeriodicScrubbing(interval_hours=2920.0)
+        assert policy.expected_detection_delay() == pytest.approx(1460.0)
+
+    def test_periodic_imperfect_coverage_lengthens_delay(self):
+        perfect = PeriodicScrubbing(interval_hours=100.0, coverage=1.0)
+        flaky = PeriodicScrubbing(interval_hours=100.0, coverage=0.5)
+        assert flaky.expected_detection_delay() > perfect.expected_detection_delay()
+
+    def test_periodic_audits_per_year(self):
+        policy = PeriodicScrubbing(interval_hours=2920.0)
+        assert policy.audits_per_year() == pytest.approx(3.0)
+
+    def test_poisson_delays_vary(self):
+        policy = PoissonScrubbing(mean_interval_hours=100.0)
+        rng = np.random.default_rng(0)
+        delays = {policy.next_audit_delay(rng) for _ in range(5)}
+        assert len(delays) == 5
+
+    def test_poisson_expected_delay_full_interval(self):
+        assert PoissonScrubbing(100.0).expected_detection_delay() == pytest.approx(100.0)
+
+    def test_on_access_detection_mirrors_access_rate(self):
+        policy = OnAccessDetection(mean_access_interval_hours=8760.0)
+        assert policy.expected_detection_delay() == pytest.approx(8760.0)
+        assert policy.audits_per_year() == pytest.approx(1.0)
+
+    def test_factory_zero_rate_is_no_scrubbing(self):
+        assert isinstance(policy_for_audits_per_year(0.0), NoScrubbing)
+
+    def test_factory_periodic_and_poisson(self):
+        assert isinstance(policy_for_audits_per_year(3.0), PeriodicScrubbing)
+        assert isinstance(policy_for_audits_per_year(3.0, poisson=True), PoissonScrubbing)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicScrubbing(0.0)
+        with pytest.raises(ValueError):
+            PeriodicScrubbing(10.0, coverage=0.0)
+        with pytest.raises(ValueError):
+            PoissonScrubbing(-1.0)
+        with pytest.raises(ValueError):
+            OnAccessDetection(0.0)
+        with pytest.raises(ValueError):
+            policy_for_audits_per_year(-1.0)
+
+
+class TestRepairPolicies:
+    def test_immediate_repair_is_deterministic(self):
+        policy = ImmediateRepair(visible_hours=0.5, latent_hours=1.5)
+        rng = np.random.default_rng(0)
+        assert policy.repair_time(rng, FaultType.VISIBLE) == 0.5
+        assert policy.repair_time(rng, FaultType.LATENT) == 1.5
+        assert policy.induced_fault_probability() == 0.0
+
+    def test_hot_spare_mean_converges(self):
+        policy = HotSpareRepair(mean_visible_hours=2.0, mean_latent_hours=4.0)
+        rng = np.random.default_rng(1)
+        samples = [policy.repair_time(rng, FaultType.VISIBLE) for _ in range(3000)]
+        assert np.mean(samples) == pytest.approx(2.0, rel=0.1)
+
+    def test_operator_repair_includes_response_time(self):
+        policy = OperatorRepair(mean_response_hours=10.0, mean_repair_hours=2.0)
+        assert policy.mean_repair_time(FaultType.VISIBLE) == 12.0
+
+    def test_operator_mistakes_become_induced_faults(self):
+        policy = OperatorRepair(1.0, 1.0, mistake_probability=0.25)
+        assert policy.induced_fault_probability() == 0.25
+
+    def test_offline_repair_slowest(self):
+        online = ImmediateRepair(0.5, 0.5)
+        offline = OfflineMediaRepair(
+            mean_retrieval_hours=48.0, mean_restore_hours=12.0
+        )
+        assert offline.mean_repair_time(FaultType.VISIBLE) > online.mean_repair_time(
+            FaultType.VISIBLE
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ImmediateRepair(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            HotSpareRepair(0.0, 1.0)
+        with pytest.raises(ValueError):
+            OperatorRepair(1.0, 0.0)
+        with pytest.raises(ValueError):
+            OperatorRepair(1.0, 1.0, mistake_probability=2.0)
+        with pytest.raises(ValueError):
+            OfflineMediaRepair(1.0, 0.0)
+
+
+class TestCorrelationModels:
+    def test_independent_multiplier_is_one(self):
+        model = IndependentFaults()
+        assert model.rate_multiplier(0) == 1.0
+        assert model.rate_multiplier(3) == 1.0
+        assert model.shock_rate() == 0.0
+
+    def test_multiplicative_accelerates_when_degraded(self):
+        model = MultiplicativeCorrelation(alpha=0.1)
+        assert model.rate_multiplier(0) == 1.0
+        assert model.rate_multiplier(1) == pytest.approx(10.0)
+        assert model.rate_multiplier(2) == pytest.approx(10.0)
+
+    def test_compounding_multiplicative(self):
+        model = MultiplicativeCorrelation(alpha=0.1, compounding=True)
+        assert model.rate_multiplier(2) == pytest.approx(100.0)
+
+    def test_multiplicative_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            MultiplicativeCorrelation(alpha=0.0)
+
+    def test_shared_fate_shock_rate(self):
+        model = SharedFateShocks(shock_mean_time=1000.0, hit_probability=0.5)
+        assert model.shock_rate() == pytest.approx(1e-3)
+
+    def test_shared_fate_impact_respects_probability_extremes(self):
+        rng = np.random.default_rng(0)
+        never = SharedFateShocks(1000.0, hit_probability=0.0)
+        always = SharedFateShocks(1000.0, hit_probability=1.0)
+        assert list(never.shock_impact(rng, 4)) == []
+        assert list(always.shock_impact(rng, 4)) == [0, 1, 2, 3]
+
+    def test_shared_fate_fault_type_probability(self):
+        rng = np.random.default_rng(0)
+        visible_only = SharedFateShocks(1000.0, 0.5, visible_probability=1.0)
+        latent_only = SharedFateShocks(1000.0, 0.5, visible_probability=0.0)
+        assert visible_only.shock_fault_type(rng) is FaultType.VISIBLE
+        assert latent_only.shock_fault_type(rng) is FaultType.LATENT
+
+    def test_shared_fate_validation(self):
+        with pytest.raises(ValueError):
+            SharedFateShocks(0.0, 0.5)
+        with pytest.raises(ValueError):
+            SharedFateShocks(10.0, 1.5)
+        with pytest.raises(ValueError):
+            SharedFateShocks(10.0, 0.5, baseline_multiplier=0.5)
+
+
+class TestEmpiricalCorrelationEstimate:
+    def test_no_samples_returns_none(self):
+        estimate = EmpiricalCorrelationEstimate(unconditional_mean_time=100.0)
+        assert estimate.alpha() is None
+
+    def test_alpha_is_ratio_of_means(self):
+        estimate = EmpiricalCorrelationEstimate(unconditional_mean_time=100.0)
+        for gap in (10.0, 20.0, 30.0):
+            estimate.add_sample(gap)
+        assert estimate.alpha() == pytest.approx(0.2)
+
+    def test_alpha_capped_at_one(self):
+        estimate = EmpiricalCorrelationEstimate(unconditional_mean_time=10.0)
+        estimate.add_sample(1000.0)
+        assert estimate.alpha() == 1.0
+
+    def test_negative_sample_rejected(self):
+        estimate = EmpiricalCorrelationEstimate(unconditional_mean_time=10.0)
+        with pytest.raises(ValueError):
+            estimate.add_sample(-1.0)

@@ -1,0 +1,224 @@
+"""Tests for the replicated-storage system simulator."""
+
+import pytest
+
+from repro.core.faults import FaultType
+from repro.core.parameters import FaultModel
+from repro.simulation.correlation import MultiplicativeCorrelation, SharedFateShocks
+from repro.simulation.events import TraceEventType
+from repro.simulation.faults import ExponentialFaultProcess
+from repro.simulation.repair import ImmediateRepair, OperatorRepair
+from repro.simulation.rng import RandomStreams
+from repro.simulation.scrubbing import NoScrubbing, PeriodicScrubbing
+from repro.simulation.system import (
+    ReplicatedStorageSystem,
+    SystemConfig,
+    system_from_fault_model,
+)
+
+
+def fast_config(**overrides):
+    base = dict(
+        replicas=2,
+        visible_process=ExponentialFaultProcess(500.0),
+        latent_process=ExponentialFaultProcess(100.0),
+        scrub_policy=PeriodicScrubbing(interval_hours=10.0),
+        repair_policy=ImmediateRepair(visible_hours=1.0, latent_hours=1.0),
+        trace=True,
+    )
+    base.update(overrides)
+    return SystemConfig(**base)
+
+
+class TestBasicRuns:
+    def test_run_returns_result_with_trace(self):
+        system = ReplicatedStorageSystem(fast_config(), RandomStreams(seed=1))
+        result = system.run(max_time=50000.0)
+        assert result.trace is not None
+        assert result.end_time > 0
+
+    def test_run_is_reproducible_for_same_seed(self):
+        a = ReplicatedStorageSystem(fast_config(), RandomStreams(seed=7)).run(1e5)
+        b = ReplicatedStorageSystem(fast_config(), RandomStreams(seed=7)).run(1e5)
+        assert a.end_time == b.end_time
+        assert a.lost == b.lost
+        assert a.visible_faults == b.visible_faults
+
+    def test_different_seeds_differ(self):
+        a = ReplicatedStorageSystem(fast_config(), RandomStreams(seed=1)).run(1e5)
+        b = ReplicatedStorageSystem(fast_config(), RandomStreams(seed=2)).run(1e5)
+        assert a.end_time != b.end_time or a.visible_faults != b.visible_faults
+
+    def test_eventual_data_loss(self):
+        system = ReplicatedStorageSystem(fast_config(), RandomStreams(seed=3))
+        result = system.run(max_time=1e7)
+        assert result.lost
+        assert result.first_fault_type in (FaultType.VISIBLE, FaultType.LATENT)
+        assert result.final_fault_type in (FaultType.VISIBLE, FaultType.LATENT)
+
+    def test_censoring_when_horizon_short(self):
+        system = ReplicatedStorageSystem(fast_config(), RandomStreams(seed=3))
+        result = system.run(max_time=1.0)
+        assert not result.lost
+        assert result.end_time == 1.0
+
+    def test_invalid_max_time_rejected(self):
+        system = ReplicatedStorageSystem(fast_config(), RandomStreams(seed=0))
+        with pytest.raises(ValueError):
+            system.run(max_time=0.0)
+
+    def test_single_replica_lost_on_first_fault(self):
+        config = fast_config(replicas=1)
+        system = ReplicatedStorageSystem(config, RandomStreams(seed=5))
+        result = system.run(max_time=1e6)
+        assert result.lost
+        assert result.visible_faults + result.latent_faults >= 1
+
+    def test_rejects_zero_replicas(self):
+        with pytest.raises(ValueError):
+            fast_config(replicas=0)
+
+
+class TestFaultHandling:
+    def test_faults_and_repairs_recorded_in_trace(self):
+        system = ReplicatedStorageSystem(fast_config(), RandomStreams(seed=11))
+        result = system.run(max_time=5000.0)
+        counts = result.trace.counts()
+        assert counts.get(TraceEventType.FAULT_OCCURRED, 0) >= 1
+        if not result.lost:
+            assert counts.get(TraceEventType.REPAIR_COMPLETED, 0) >= 1
+
+    def test_latent_faults_detected_only_by_audits(self):
+        config = fast_config(scrub_policy=NoScrubbing())
+        system = ReplicatedStorageSystem(config, RandomStreams(seed=13))
+        result = system.run(max_time=1e6)
+        detections = result.trace.of_type(TraceEventType.FAULT_DETECTED)
+        assert detections == []
+
+    def test_scrubbing_produces_detections(self):
+        system = ReplicatedStorageSystem(fast_config(), RandomStreams(seed=13))
+        result = system.run(max_time=50000.0)
+        # With latent faults every ~100 h and audits every 10 h,
+        # detections must occur unless data is lost almost immediately.
+        if result.latent_faults > 2:
+            assert len(result.trace.of_type(TraceEventType.FAULT_DETECTED)) > 0
+
+    def test_detection_latency_tracks_audit_interval(self):
+        config = fast_config(scrub_policy=PeriodicScrubbing(interval_hours=10.0))
+        system = ReplicatedStorageSystem(config, RandomStreams(seed=17))
+        result = system.run(max_time=20000.0)
+        latencies = result.trace.detection_latencies()
+        assert latencies, "expected at least one detection"
+        # Faults on an already-faulty replica never get their own
+        # detection event, so the trace-level matching can attribute a
+        # longer delay to a minority of faults; the typical detection
+        # still has to land within one audit interval.
+        within_interval = sum(1 for latency in latencies if latency <= 10.0 + 1e-9)
+        assert within_interval >= len(latencies) * 0.5
+
+    def test_audit_counter_increments(self):
+        system = ReplicatedStorageSystem(fast_config(), RandomStreams(seed=19))
+        result = system.run(max_time=100.0)
+        assert result.audits >= 9
+
+
+class TestScrubbingEffectOnReliability:
+    def test_scrubbed_system_survives_longer_on_average(self):
+        lost_times_scrubbed = []
+        lost_times_unscrubbed = []
+        for seed in range(15):
+            scrubbed = ReplicatedStorageSystem(
+                fast_config(scrub_policy=PeriodicScrubbing(interval_hours=10.0)),
+                RandomStreams(seed=seed),
+            ).run(max_time=1e7)
+            unscrubbed = ReplicatedStorageSystem(
+                fast_config(scrub_policy=NoScrubbing()),
+                RandomStreams(seed=seed),
+            ).run(max_time=1e7)
+            lost_times_scrubbed.append(scrubbed.end_time)
+            lost_times_unscrubbed.append(unscrubbed.end_time)
+        assert sum(lost_times_scrubbed) > 2 * sum(lost_times_unscrubbed)
+
+
+class TestCorrelationEffects:
+    def test_multiplicative_correlation_shortens_life(self):
+        independent_total = 0.0
+        correlated_total = 0.0
+        for seed in range(15):
+            independent = ReplicatedStorageSystem(
+                fast_config(), RandomStreams(seed=seed)
+            ).run(max_time=1e7)
+            correlated = ReplicatedStorageSystem(
+                fast_config(correlation=MultiplicativeCorrelation(alpha=0.05)),
+                RandomStreams(seed=seed),
+            ).run(max_time=1e7)
+            independent_total += independent.end_time
+            correlated_total += correlated.end_time
+        assert correlated_total < independent_total
+
+    def test_shared_fate_shocks_cause_losses(self):
+        config = fast_config(
+            correlation=SharedFateShocks(shock_mean_time=200.0, hit_probability=1.0),
+        )
+        system = ReplicatedStorageSystem(config, RandomStreams(seed=23))
+        result = system.run(max_time=1e6)
+        assert result.lost
+        shock_events = result.trace.of_type(TraceEventType.SHOCK_EVENT)
+        assert shock_events
+
+
+class TestRepairInducedFaults:
+    def test_risky_operator_repairs_can_damage_other_replica(self):
+        config = fast_config(
+            replicas=3,
+            repair_policy=OperatorRepair(
+                mean_response_hours=0.1, mean_repair_hours=0.5, mistake_probability=1.0
+            ),
+        )
+        system = ReplicatedStorageSystem(config, RandomStreams(seed=29))
+        result = system.run(max_time=5000.0)
+        induced = [
+            event
+            for event in result.trace.of_type(TraceEventType.FAULT_OCCURRED)
+            if event.detail == "repair-induced"
+        ]
+        assert induced
+
+
+class TestFactoryFromFaultModel:
+    def make_model(self, **overrides):
+        base = dict(
+            mean_time_to_visible=500.0,
+            mean_time_to_latent=100.0,
+            mean_repair_visible=1.0,
+            mean_repair_latent=1.0,
+            mean_detect_latent=5.0,
+            correlation_factor=1.0,
+        )
+        base.update(overrides)
+        return FaultModel(**base)
+
+    def test_scrub_interval_from_mdl(self):
+        system = system_from_fault_model(self.make_model(), streams=RandomStreams(0))
+        policy = system.config.scrub_policy
+        assert isinstance(policy, PeriodicScrubbing)
+        assert policy.interval_hours == pytest.approx(10.0)
+
+    def test_no_scrub_when_mdl_matches_latent_mean(self):
+        model = self.make_model(mean_detect_latent=100.0)
+        system = system_from_fault_model(model, streams=RandomStreams(0))
+        assert isinstance(system.config.scrub_policy, NoScrubbing)
+
+    def test_audits_per_year_override(self):
+        system = system_from_fault_model(
+            self.make_model(), streams=RandomStreams(0), audits_per_year=12.0
+        )
+        assert isinstance(system.config.scrub_policy, PeriodicScrubbing)
+        assert system.config.scrub_policy.interval_hours == pytest.approx(730.0)
+
+    def test_correlation_passed_through(self):
+        system = system_from_fault_model(
+            self.make_model(correlation_factor=0.2), streams=RandomStreams(0)
+        )
+        assert isinstance(system.config.correlation, MultiplicativeCorrelation)
+        assert system.config.correlation.alpha == 0.2
