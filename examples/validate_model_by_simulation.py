@@ -40,11 +40,25 @@ def mttdl_comparison() -> None:
     print("== MTTDL under every evaluation method ==\n")
     comparison = compare_models(MODEL)
     estimate = estimate_mttdl(MODEL, trials=300, seed=1, max_time=5e6)
+    # The vectorized backend makes a 20x larger sample just as cheap,
+    # and adaptive sampling keeps extending it until the confidence
+    # interval is tight.
+    batch = estimate_mttdl(
+        MODEL,
+        trials=6000,
+        seed=1,
+        max_time=5e6,
+        backend="batch",
+        target_relative_error=0.01,
+    )
     rows = [[name, value] for name, value in comparison.in_years().items()]
     rows.append(["monte_carlo (300 trials)", estimate.mean / HOURS_PER_YEAR])
     low, high = estimate.confidence_interval()
     rows.append(["monte_carlo 95% CI low", low / HOURS_PER_YEAR])
     rows.append(["monte_carlo 95% CI high", high / HOURS_PER_YEAR])
+    rows.append(
+        [f"batch backend ({batch.trials} trials)", batch.mean / HOURS_PER_YEAR]
+    )
     print(format_table(["method", "MTTDL (years)"], rows))
     print(
         "\nThe Markov chain and the simulator agree; the closed forms sit within\n"

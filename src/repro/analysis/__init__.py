@@ -14,6 +14,8 @@ from repro.analysis.sweep import (
     sweep_replication,
     sweep_correlation,
     grid_sweep,
+    simulated_parameter_sweep,
+    simulated_audit_sweep,
 )
 from repro.analysis.compare import (
     ModelComparison,
@@ -44,6 +46,8 @@ __all__ = [
     "sweep_replication",
     "sweep_correlation",
     "grid_sweep",
+    "simulated_parameter_sweep",
+    "simulated_audit_sweep",
     "ModelComparison",
     "compare_models",
     "compare_scenarios",

@@ -1,10 +1,16 @@
-"""Parameter sweeps over the analytic model.
+"""Parameter sweeps over the analytic model and the simulator.
 
 Every figure-shaped experiment in EXPERIMENTS.md is a sweep: MTTDL as a
 function of audit rate (E8), replication degree (E6), correlation factor
 (E5/E6), or any single model parameter.  :class:`SweepResult` holds the
 swept values and the metric series so the benchmark harness and the
 ASCII plots can consume the same object.
+
+Alongside the closed-form sweeps, :func:`simulated_parameter_sweep` and
+:func:`simulated_audit_sweep` run the same grids through the Monte-Carlo
+estimators, defaulting to the vectorized ``batch`` backend so sweeping
+thousands of scenario points stays cheap; each simulated series carries
+its standard error next to the analytic prediction.
 """
 
 from __future__ import annotations
@@ -17,6 +23,10 @@ from repro.core.parameters import FaultModel
 from repro.core.replication import replicated_mttdl
 from repro.core.sensitivity import PARAMETER_FIELDS
 from repro.core.units import HOURS_PER_YEAR
+from repro.simulation.monte_carlo import (
+    estimate_loss_probability,
+    estimate_mttdl,
+)
 
 
 @dataclass(frozen=True)
@@ -171,6 +181,158 @@ def sweep_correlation(
         metrics={
             "mttdl_hours": hours,
             "mttdl_years": [h / HOURS_PER_YEAR for h in hours],
+        },
+    )
+
+
+def _analytic_model(model: FaultModel, audits_per_year: Optional[float]) -> FaultModel:
+    """Fold an audit-rate override into the model for analytic evaluation.
+
+    The simulators take ``audits_per_year`` as a separate knob; the
+    closed forms only see ``MDL``.  Matching :func:`sweep_audit_rate`'s
+    convention, the override sets ``MDL`` to half the audit interval
+    (or to the latent mean time when auditing is disabled), so the
+    attached analytic series describes the same scrubbing regime as the
+    simulated one.
+    """
+    if audits_per_year is None:
+        return model
+    if audits_per_year < 0:
+        raise ValueError("audits_per_year must be non-negative")
+    if audits_per_year == 0:
+        return model.with_detection_time(model.mean_time_to_latent)
+    return model.with_detection_time(HOURS_PER_YEAR / audits_per_year / 2.0)
+
+
+def simulated_parameter_sweep(
+    model: FaultModel,
+    parameter: str,
+    values: Sequence[float],
+    trials: int = 1000,
+    seed: int = 0,
+    backend: str = "batch",
+    metric: str = "mttdl",
+    replicas: int = 2,
+    mission_years: float = 50.0,
+    max_time: Optional[float] = None,
+    audits_per_year: Optional[float] = None,
+    target_relative_error: Optional[float] = None,
+) -> SweepResult:
+    """Simulation-backed counterpart of :func:`sweep_parameter`.
+
+    Args:
+        model: the base operating point.
+        parameter: ``MV``, ``ML``, ``MRV``, ``MRL``, ``MDL``, or
+            ``alpha``.
+        values: values to substitute for the parameter.
+        trials: Monte-Carlo trials per sweep point (per chunk when
+            adaptive).
+        seed: root seed, shared by every sweep point.  Points reuse the
+            same underlying trial streams (common random numbers), which
+            reduces the variance of *differences* along the sweep; each
+            point's reported standard error is valid on its own.
+            Deriving per-point seeds by arithmetic on ``seed`` would
+            reintroduce the cross-seed stream aliasing the spawn-key
+            scheme removes, so it is deliberately avoided.
+        backend: ``"batch"`` (default, vectorized) or ``"event"``.
+        metric: ``"mttdl"`` or ``"loss_probability"``.
+        mission_years: mission length for the loss-probability metric.
+        max_time: censoring horizon for the MTTDL metric.
+        target_relative_error: enables adaptive sampling per point.
+
+    Returns:
+        A :class:`SweepResult` whose metrics hold the simulated series
+        (``sim_<metric>``), its standard error (``sim_std_error``), and
+        — for the MTTDL metric with mirrored pairs — the analytic
+        ``mttdl_hours`` for comparison.
+    """
+    field_name = PARAMETER_FIELDS.get(parameter)
+    if field_name is None:
+        raise ValueError(
+            f"unknown parameter {parameter!r}; expected one of "
+            f"{sorted(PARAMETER_FIELDS)}"
+        )
+    if metric not in ("mttdl", "loss_probability"):
+        raise ValueError(
+            f"unknown metric {metric!r}; expected 'mttdl' or 'loss_probability'"
+        )
+    simulated: List[float] = []
+    errors: List[float] = []
+    analytic: List[float] = []
+    for value in values:
+        modified = replace(model, **{field_name: value})
+        if metric == "mttdl":
+            estimate = estimate_mttdl(
+                modified,
+                trials=trials,
+                seed=seed,
+                max_time=max_time,
+                replicas=replicas,
+                audits_per_year=audits_per_year,
+                backend=backend,
+                target_relative_error=target_relative_error,
+            )
+            if replicas == 2:
+                analytic.append(mirrored_mttdl(_analytic_model(modified, audits_per_year)))
+        else:
+            estimate = estimate_loss_probability(
+                modified,
+                mission_time=mission_years * HOURS_PER_YEAR,
+                trials=trials,
+                seed=seed,
+                replicas=replicas,
+                audits_per_year=audits_per_year,
+                backend=backend,
+                target_relative_error=target_relative_error,
+            )
+        simulated.append(estimate.mean)
+        errors.append(estimate.std_error)
+    metrics = {f"sim_{metric}": simulated, "sim_std_error": errors}
+    if analytic:
+        metrics["mttdl_hours"] = analytic
+    return SweepResult(
+        parameter=parameter, values=list(values), metrics=metrics
+    )
+
+
+def simulated_audit_sweep(
+    model: FaultModel,
+    audits_per_year: Sequence[float],
+    trials: int = 1000,
+    seed: int = 0,
+    backend: str = "batch",
+    max_time: Optional[float] = None,
+    target_relative_error: Optional[float] = None,
+) -> SweepResult:
+    """Simulated MTTDL as a function of the audit rate (E8's sweep).
+
+    The analytic :func:`sweep_audit_rate` series (``mttdl_hours``) is
+    attached for side-by-side comparison; the simulated series carries
+    standard errors so the benchmark harness can check agreement.
+    """
+    rates = [float(rate) for rate in audits_per_year]
+    analytic = sweep_audit_rate(model, rates)
+    simulated: List[float] = []
+    errors: List[float] = []
+    for rate in rates:
+        estimate = estimate_mttdl(
+            model,
+            trials=trials,
+            seed=seed,
+            max_time=max_time,
+            audits_per_year=rate,
+            backend=backend,
+            target_relative_error=target_relative_error,
+        )
+        simulated.append(estimate.mean)
+        errors.append(estimate.std_error)
+    return SweepResult(
+        parameter="audits_per_year",
+        values=rates,
+        metrics={
+            "sim_mttdl_hours": simulated,
+            "sim_std_error": errors,
+            "mttdl_hours": analytic.metric("mttdl_hours"),
         },
     )
 

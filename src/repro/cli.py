@@ -17,6 +17,12 @@ the workflows the examples and benchmarks use:
 ``validate``
     Compare the closed forms against the exact Markov chain for a
     parameter set.
+``simulate``
+    Monte-Carlo estimate of the MTTDL or mission loss probability,
+    using either the event-driven simulator (``--backend event``) or
+    the vectorized batch backend (``--backend batch``, the default).
+    ``--target-relative-error`` enables adaptive sampling: the run
+    keeps extending until the confidence interval converges.
 
 All times are entered in hours, consistent with the library.
 """
@@ -35,6 +41,10 @@ from repro.core.parameters import FaultModel
 from repro.core.probability import probability_of_loss
 from repro.core.scenarios import paper_scenarios
 from repro.core.units import HOURS_PER_YEAR, years_to_hours
+from repro.simulation.monte_carlo import (
+    estimate_loss_probability,
+    estimate_mttdl,
+)
 
 
 def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
@@ -108,6 +118,53 @@ def _cmd_replication(args: argparse.Namespace) -> str:
     return format_table(headers, rows)
 
 
+def _cmd_simulate(args: argparse.Namespace) -> str:
+    model = _model_from_args(args)
+    if args.metric == "mttdl":
+        estimate = estimate_mttdl(
+            model,
+            trials=args.trials,
+            seed=args.seed,
+            max_time=args.max_time,
+            replicas=args.replicas,
+            audits_per_year=args.audits_per_year,
+            backend=args.backend,
+            target_relative_error=args.target_relative_error,
+        )
+        low, high = estimate.confidence_interval()
+        values = {
+            "MTTDL (hours)": estimate.mean,
+            "MTTDL (years)": estimate.mean / HOURS_PER_YEAR,
+            "std error (hours)": estimate.std_error,
+            "95% CI low (years)": low / HOURS_PER_YEAR,
+            "95% CI high (years)": high / HOURS_PER_YEAR,
+            "trials": estimate.trials,
+            "censored": estimate.censored,
+        }
+        title = f"simulated MTTDL ({args.backend} backend)"
+    else:
+        estimate = estimate_loss_probability(
+            model,
+            mission_time=years_to_hours(args.mission_years),
+            trials=args.trials,
+            seed=args.seed,
+            replicas=args.replicas,
+            audits_per_year=args.audits_per_year,
+            backend=args.backend,
+            target_relative_error=args.target_relative_error,
+        )
+        low, high = estimate.confidence_interval()
+        values = {
+            f"P(loss in {args.mission_years:g} years)": estimate.mean,
+            "std error": estimate.std_error,
+            "95% CI low": low,
+            "95% CI high": high,
+            "trials": estimate.trials,
+        }
+        title = f"simulated loss probability ({args.backend} backend)"
+    return format_dict(values, title=title)
+
+
 def _cmd_validate(args: argparse.Namespace) -> str:
     model = _model_from_args(args)
     comparison = compare_models(model)
@@ -162,6 +219,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_model_arguments(validate)
     validate.set_defaults(handler=_cmd_validate)
+
+    simulate = subparsers.add_parser(
+        "simulate",
+        help="Monte-Carlo estimate of the MTTDL or mission loss probability",
+    )
+    _add_model_arguments(simulate)
+    simulate.add_argument("--backend", choices=["event", "batch"], default="batch",
+                          help="simulation backend (default: batch, vectorized)")
+    simulate.add_argument("--metric", choices=["mttdl", "loss"], default="mttdl",
+                          help="quantity to estimate (default: mttdl)")
+    simulate.add_argument("--trials", type=int, default=1000,
+                          help="Monte-Carlo trials, per chunk when adaptive (default: 1000)")
+    simulate.add_argument("--seed", type=int, default=0,
+                          help="root random seed (default: 0)")
+    simulate.add_argument("--replicas", type=int, default=2,
+                          help="replication degree (default: 2)")
+    simulate.add_argument("--mission-years", type=float, default=50.0,
+                          help="mission length for the loss metric (default: 50)")
+    simulate.add_argument("--max-time", type=float, default=None,
+                          help="censoring horizon in hours for the MTTDL metric")
+    simulate.add_argument("--audits-per-year", type=float, default=None,
+                          help="override the model-derived audit rate")
+    simulate.add_argument("--target-relative-error", type=float, default=None,
+                          help="adaptive sampling: extend until std error / mean "
+                          "falls below this fraction")
+    simulate.set_defaults(handler=_cmd_simulate)
 
     return parser
 

@@ -9,6 +9,14 @@ time, and correlation can be modelled either with the paper's
 multiplicative factor or with explicit shared-fate shock events.  It is
 used to validate the closed forms (experiment E11) and to regenerate the
 figures (E9, E10).
+
+Two Monte-Carlo backends are available: the event-driven engine
+(``backend="event"``, general but one Python event loop per trial) and
+the vectorized batch simulator (``backend="batch"``,
+:mod:`repro.simulation.batch`), which advances thousands of
+FaultModel-derived systems in lock-step NumPy sweeps and also powers the
+adaptive-sampling mode (``target_relative_error=...``) of the
+estimators in :mod:`repro.simulation.monte_carlo`.
 """
 
 from repro.simulation.engine import SimulationEngine, EventHandle
@@ -51,7 +59,12 @@ from repro.simulation.system import (
     RunResult,
     system_from_fault_model,
 )
+from repro.simulation.batch import (
+    BatchRunResult,
+    simulate_batch,
+)
 from repro.simulation.monte_carlo import (
+    HighCensoringWarning,
     MonteCarloEstimate,
     estimate_mttdl,
     estimate_loss_probability,
@@ -93,6 +106,9 @@ __all__ = [
     "SystemConfig",
     "RunResult",
     "system_from_fault_model",
+    "BatchRunResult",
+    "simulate_batch",
+    "HighCensoringWarning",
     "MonteCarloEstimate",
     "estimate_mttdl",
     "estimate_loss_probability",

@@ -1,0 +1,306 @@
+"""Vectorized batch Monte-Carlo backend.
+
+Instead of running N independent :class:`SimulationEngine` event loops,
+this backend simulates N replicated systems *simultaneously* with NumPy
+array state: per-replica next-fault times, fault flags, and repair
+completions, advancing every live trial to its own next event in
+lock-step sweeps of batched draws.  Total work is the same number of
+events as the event-driven backend, but the per-event cost is a few
+vectorized array operations instead of a Python callback dispatch, which
+is what makes thousand-scenario sweeps practical (see
+``benchmarks/test_bench_e14_batch_speedup.py``).
+
+The backend covers the configurations :func:`system_from_fault_model`
+builds from a :class:`~repro.core.parameters.FaultModel`:
+
+* exponential visible and latent fault processes per replica;
+* deterministic repairs (``MRV`` / ``MRL``);
+* periodic scrubbing on the global audit grid ``I, 2I, 3I, ...`` with
+  interval ``I = 2 * MDL`` (or derived from ``audits_per_year``), or no
+  scrubbing at all;
+* the paper's non-compounding multiplicative correlation (fault rates
+  of healthy replicas are divided by ``alpha`` while any replica is
+  faulty).
+
+Because the processes are memoryless and repairs deterministic, a
+fault's entire recovery is known the instant it occurs: a visible fault
+at ``t`` recovers at ``t + MRV``; a latent fault at ``t`` is detected at
+the first audit-grid point after ``t`` and recovers ``MRL`` later (or
+never, without scrubbing).  Each lock-step sweep therefore only has to
+race per-replica fault arrivals against known recovery times, resampling
+pending arrivals whenever a trial enters or leaves the degraded regime —
+exactly the behaviour of the event-driven
+:class:`~repro.simulation.system.ReplicatedStorageSystem`, which the
+cross-validation tests in ``tests/simulation/test_batch.py`` check
+estimate-for-estimate.
+
+Custom :data:`~repro.simulation.monte_carlo.SystemFactory` systems
+(shared-fate shocks, Weibull hazards, stochastic repair policies) are
+not expressible here; use ``backend="event"`` for those.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.faults import FaultType
+from repro.core.parameters import FaultModel
+from repro.simulation.rng import batch_generator
+from repro.simulation.scrubbing import audit_interval_for
+
+# Integer replica states / fault types used in the array representation.
+OK = 0
+VISIBLE = 1
+LATENT = 2
+
+#: Mapping from the array fault-type codes to the public enum.
+FAULT_TYPE_BY_CODE: Dict[int, FaultType] = {
+    VISIBLE: FaultType.VISIBLE,
+    LATENT: FaultType.LATENT,
+}
+
+
+@dataclass(frozen=True)
+class BatchRunResult:
+    """Per-trial outcomes of one batched simulation.
+
+    Attributes:
+        lost: boolean array — whether each trial lost data.
+        end_time: loss time for lost trials, the horizon for censored
+            ones (hours).
+        first_fault_type: for lost trials, the code (``VISIBLE`` /
+            ``LATENT``) of the oldest outstanding fault at the loss
+            instant; ``-1`` for censored trials.
+        final_fault_type: code of the fault that completed the loss;
+            ``-1`` for censored trials.
+        horizon: the censoring horizon the batch ran to (hours).
+        sweeps: how many lock-step sweeps the batch needed (each sweep
+            advances every live trial by one event).
+    """
+
+    lost: np.ndarray
+    end_time: np.ndarray
+    first_fault_type: np.ndarray
+    final_fault_type: np.ndarray
+    horizon: float
+    sweeps: int
+
+    @property
+    def trials(self) -> int:
+        return int(self.lost.shape[0])
+
+    @property
+    def losses(self) -> int:
+        return int(np.count_nonzero(self.lost))
+
+    @property
+    def censored(self) -> int:
+        return self.trials - self.losses
+
+    @property
+    def total_observed_time(self) -> float:
+        """Sum of per-trial observed times (loss or censoring times)."""
+        return float(self.end_time.sum())
+
+    def combination_counts(self) -> Dict[Tuple[FaultType, FaultType], int]:
+        """Count losses by (first fault, final fault) combination."""
+        counts: Dict[Tuple[FaultType, FaultType], int] = {
+            (first, second): 0
+            for first in (FaultType.VISIBLE, FaultType.LATENT)
+            for second in (FaultType.VISIBLE, FaultType.LATENT)
+        }
+        for first_code, first in FAULT_TYPE_BY_CODE.items():
+            for final_code, final in FAULT_TYPE_BY_CODE.items():
+                counts[(first, final)] = int(
+                    np.count_nonzero(
+                        self.lost
+                        & (self.first_fault_type == first_code)
+                        & (self.final_fault_type == final_code)
+                    )
+                )
+        return counts
+
+
+def simulate_batch(
+    model: FaultModel,
+    trials: int,
+    horizon: float,
+    seed: int = 0,
+    replicas: int = 2,
+    audits_per_year: Optional[float] = None,
+    chunk: int = 0,
+) -> BatchRunResult:
+    """Simulate ``trials`` replicated systems in lock-step to ``horizon``.
+
+    Args:
+        model: the fault-model operating point.
+        trials: number of independent systems to simulate.
+        horizon: censoring horizon in hours; trials that survive to it
+            are censored.
+        seed: root seed (shared with the event backend's convention, but
+            drawing from the reserved batch stream).
+        replicas: replication degree.
+        audits_per_year: overrides the model-derived audit interval.
+        chunk: batch-extension index used by adaptive sampling; each
+            chunk draws from an independent stream of the same seed.
+
+    Raises:
+        ValueError: for non-positive ``trials`` / ``horizon`` or a
+            replication degree below 1.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    if replicas < 1:
+        raise ValueError("replicas must be at least 1")
+
+    rng = batch_generator(seed, chunk)
+    interval = audit_interval_for(model, audits_per_year)
+    mean_visible = model.mean_time_to_visible
+    mean_latent = model.mean_time_to_latent
+    repair_visible = model.mean_repair_visible
+    repair_latent = model.mean_repair_latent
+    alpha = model.correlation_factor
+    correlated = alpha < 1.0
+
+    state = np.zeros((trials, replicas), dtype=np.int8)
+    fault_time = np.full((trials, replicas), np.inf)
+    recovery = np.full((trials, replicas), np.inf)
+    next_visible = rng.exponential(mean_visible, size=(trials, replicas))
+    next_latent = rng.exponential(mean_latent, size=(trials, replicas))
+
+    lost = np.zeros(trials, dtype=bool)
+    end_time = np.full(trials, float(horizon))
+    first_type = np.full(trials, -1, dtype=np.int8)
+    final_type = np.full(trials, -1, dtype=np.int8)
+
+    live = np.arange(trials)
+    sweeps = 0
+    while live.size:
+        sweeps += 1
+        # Next event per live trial: healthy replicas race their pending
+        # fault arrivals, faulty replicas wait for their known recovery.
+        fault_candidate = np.minimum(next_visible[live], next_latent[live])
+        candidate = np.where(state[live] == OK, fault_candidate, recovery[live])
+        which = np.argmin(candidate, axis=1)
+        event_time = candidate[np.arange(live.size), which]
+
+        # Trials whose next event falls past the horizon are censored.
+        running = event_time < horizon
+        live = live[running]
+        if live.size == 0:
+            break
+        which = which[running]
+        event_time = event_time[running]
+        is_recovery = state[live, which] != OK
+
+        if is_recovery.any():
+            rows = live[is_recovery]
+            cols = which[is_recovery]
+            times = event_time[is_recovery]
+            state[rows, cols] = OK
+            recovery[rows, cols] = np.inf
+            fault_time[rows, cols] = np.inf
+            still_faulty = np.count_nonzero(state[rows] != OK, axis=1)
+            # New arrivals for the recovered replica draw at the current
+            # regime's rate (divided by alpha while the trial stays
+            # degraded — the paper's non-compounding correlation).
+            scale = np.where(correlated & (still_faulty > 0), alpha, 1.0)
+            next_visible[rows, cols] = times + rng.exponential(
+                1.0, rows.size
+            ) * (mean_visible * scale)
+            next_latent[rows, cols] = times + rng.exponential(
+                1.0, rows.size
+            ) * (mean_latent * scale)
+            if correlated:
+                # Leaving the degraded regime: healthy replicas fall back
+                # to base-rate arrivals (memoryless, so resampling is
+                # distributionally exact — same as the event engine's
+                # reschedule).
+                back = still_faulty == 0
+                if back.any():
+                    b_rows = rows[back]
+                    b_times = times[back]
+                    next_visible[b_rows] = b_times[:, None] + rng.exponential(
+                        mean_visible, (b_rows.size, replicas)
+                    )
+                    next_latent[b_rows] = b_times[:, None] + rng.exponential(
+                        mean_latent, (b_rows.size, replicas)
+                    )
+
+        faulted = ~is_recovery
+        if faulted.any():
+            rows = live[faulted]
+            cols = which[faulted]
+            times = event_time[faulted]
+            fault_code = np.where(
+                next_visible[rows, cols] <= next_latent[rows, cols],
+                VISIBLE,
+                LATENT,
+            ).astype(np.int8)
+            state[rows, cols] = fault_code
+            fault_time[rows, cols] = times
+            next_visible[rows, cols] = np.inf
+            next_latent[rows, cols] = np.inf
+
+            # The whole recovery is determined at fault time: visible
+            # faults repair after MRV; latent faults wait for the next
+            # audit-grid point, then repair after MRL (never, without
+            # scrubbing).
+            completed = np.empty(rows.size)
+            visible_mask = fault_code == VISIBLE
+            completed[visible_mask] = times[visible_mask] + repair_visible
+            latent_mask = ~visible_mask
+            if interval is None:
+                completed[latent_mask] = np.inf
+            else:
+                detection = (
+                    np.floor(times[latent_mask] / interval) + 1.0
+                ) * interval
+                completed[latent_mask] = detection + repair_latent
+            recovery[rows, cols] = completed
+
+            faulty_now = np.count_nonzero(state[rows] != OK, axis=1)
+            loss_mask = faulty_now == replicas
+            if loss_mask.any():
+                l_rows = rows[loss_mask]
+                lost[l_rows] = True
+                end_time[l_rows] = times[loss_mask]
+                final_type[l_rows] = fault_code[loss_mask]
+                oldest = np.argmin(fault_time[l_rows], axis=1)
+                first_type[l_rows] = state[l_rows, oldest]
+            if correlated:
+                # Entering the degraded regime (0 -> 1 faulty replicas):
+                # healthy replicas' pending arrivals accelerate by 1/alpha.
+                degraded = (faulty_now == 1) & ~loss_mask
+                if degraded.any():
+                    d_rows = rows[degraded]
+                    d_times = times[degraded]
+                    healthy = state[d_rows] == OK
+                    visible_draws = d_times[:, None] + rng.exponential(
+                        mean_visible * alpha, (d_rows.size, replicas)
+                    )
+                    latent_draws = d_times[:, None] + rng.exponential(
+                        mean_latent * alpha, (d_rows.size, replicas)
+                    )
+                    next_visible[d_rows] = np.where(
+                        healthy, visible_draws, next_visible[d_rows]
+                    )
+                    next_latent[d_rows] = np.where(
+                        healthy, latent_draws, next_latent[d_rows]
+                    )
+
+        live = live[~lost[live]]
+
+    return BatchRunResult(
+        lost=lost,
+        end_time=end_time,
+        first_fault_type=first_type,
+        final_fault_type=final_type,
+        horizon=float(horizon),
+        sweeps=sweeps,
+    )

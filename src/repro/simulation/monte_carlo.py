@@ -3,19 +3,53 @@
 Runs many independent simulated systems and aggregates the results into
 MTTDL estimates (with confidence intervals), mission loss probabilities,
 and double-fault combination statistics (experiment E10).
+
+Backends
+--------
+
+Every estimator accepts ``backend="event"`` (the default — one
+:class:`~repro.simulation.system.ReplicatedStorageSystem` event loop per
+trial, supporting arbitrary :data:`SystemFactory` configurations) or
+``backend="batch"`` (the vectorized lock-step simulator in
+:mod:`repro.simulation.batch`, which is 1-2 orders of magnitude faster
+for :class:`~repro.core.parameters.FaultModel`-derived systems).  The two
+backends draw from disjoint streams of the same root seed, so their
+trajectories differ trial-for-trial but their estimates agree within
+Monte-Carlo noise (cross-validated in ``tests/simulation/test_batch.py``).
+
+Adaptive sampling
+-----------------
+
+Passing ``target_relative_error=...`` keeps extending the run in chunks
+of ``trials`` until the estimate's standard error falls below the target
+fraction of the mean (or ``max_trials`` is reached).  Chunks use
+independent sub-streams of the root seed, so an adaptive run is exactly
+reproducible for a given seed regardless of where it stops.
+
+Censoring
+---------
+
+``estimate_mttdl`` treats trials that survive to the horizon as
+*censored* observations and uses the censoring-correct exponential MLE —
+total observed time divided by the number of observed losses — rather
+than folding horizon times into a plain sample mean (which would bias
+the MTTDL downward exactly when the system is most reliable).  A
+:class:`HighCensoringWarning` is emitted when more than 20% of trials
+are censored; with no observed losses at all the estimate is infinite
+and only meaningful as "no loss seen in ``total time`` of operation".
 """
 
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
-
-import numpy as np
 
 from repro.core.faults import FaultType
 from repro.core.parameters import FaultModel
 from repro.core.units import HOURS_PER_YEAR
+from repro.simulation.batch import simulate_batch
 from repro.simulation.rng import RandomStreams
 from repro.simulation.system import (
     ReplicatedStorageSystem,
@@ -25,34 +59,84 @@ from repro.simulation.system import (
 
 SystemFactory = Callable[[RandomStreams], ReplicatedStorageSystem]
 
+#: Fraction of censored trials above which a warning is emitted.
+CENSORED_WARNING_FRACTION = 0.2
+
+#: Default cap on adaptive sampling, as a multiple of the initial chunk.
+DEFAULT_ADAPTIVE_CHUNK_LIMIT = 64
+
+_UNSET = object()
+
+
+class HighCensoringWarning(UserWarning):
+    """More than 20% of MTTDL trials were censored at the horizon.
+
+    The censoring-correct MLE stays unbiased, but its confidence
+    interval widens sharply; extend the horizon or the trial count.
+    """
+
 
 @dataclass(frozen=True)
 class MonteCarloEstimate:
     """Aggregated estimate from repeated simulation trials.
 
     Attributes:
-        mean: sample mean of the estimated quantity.
-        std_error: standard error of the mean.
+        mean: the estimated quantity (``inf`` for an MTTDL run that
+            observed no losses at all).
+        std_error: standard error of the estimate.
         trials: number of trials contributing.
         censored: how many trials were censored (data survived to the
             horizon) when estimating a time-to-loss.
+        clamp_lo: default lower clamp applied by
+            :meth:`confidence_interval` (physical quantities like times
+            and probabilities cannot be negative).
+        clamp_hi: default upper clamp (1.0 for probabilities).
     """
 
     mean: float
     std_error: float
     trials: int
     censored: int = 0
+    clamp_lo: Optional[float] = 0.0
+    clamp_hi: Optional[float] = None
 
-    def confidence_interval(self, z: float = 1.96) -> Tuple[float, float]:
-        """Normal-approximation confidence interval (default 95%)."""
-        return (self.mean - z * self.std_error, self.mean + z * self.std_error)
+    def confidence_interval(
+        self, z: float = 1.96, lo: object = _UNSET, hi: object = _UNSET
+    ) -> Tuple[float, float]:
+        """Normal-approximation confidence interval (default 95%).
+
+        The interval is clamped to ``[lo, hi]``; the bounds default to
+        the estimate's own ``clamp_lo`` / ``clamp_hi`` (pass ``None``
+        explicitly to disable clamping on one side).
+        """
+        lo_bound = self.clamp_lo if lo is _UNSET else lo
+        hi_bound = self.clamp_hi if hi is _UNSET else hi
+        if math.isfinite(self.mean) and math.isfinite(self.std_error):
+            low = self.mean - z * self.std_error
+            high = self.mean + z * self.std_error
+        else:
+            low, high = -math.inf, math.inf
+        if lo_bound is not None:
+            low = max(low, lo_bound)
+            high = max(high, lo_bound)
+        if hi_bound is not None:
+            high = min(high, hi_bound)
+            low = min(low, hi_bound)
+        return (low, high)
 
     @property
     def relative_error(self) -> float:
         """Standard error as a fraction of the mean (0 when mean is 0)."""
         if self.mean == 0:
             return 0.0
+        if not math.isfinite(self.mean):
+            return math.inf
         return self.std_error / abs(self.mean)
+
+    @property
+    def losses(self) -> int:
+        """Trials that actually observed a loss."""
+        return self.trials - self.censored
 
 
 def _default_factory(
@@ -66,6 +150,55 @@ def _default_factory(
     return factory
 
 
+def _check_backend(backend: str, factory: Optional[SystemFactory]) -> None:
+    if backend not in ("event", "batch"):
+        raise ValueError(f"unknown backend {backend!r}; expected 'event' or 'batch'")
+    if backend == "batch" and factory is not None:
+        raise ValueError(
+            "the batch backend simulates FaultModel-derived systems only; "
+            "use backend='event' with a custom factory"
+        )
+
+
+def _adaptive_cap(trials: int, max_trials: Optional[int]) -> int:
+    if max_trials is None:
+        return trials * DEFAULT_ADAPTIVE_CHUNK_LIMIT
+    if max_trials < trials:
+        raise ValueError("max_trials must be at least the initial trial count")
+    return max_trials
+
+
+def _mttdl_estimate(
+    total_time: float, losses: int, trials: int
+) -> MonteCarloEstimate:
+    """Censoring-correct exponential MLE: total observed time / losses.
+
+    For an exponential time-to-loss with right censoring, the MLE of the
+    mean is the total time on test divided by the number of observed
+    losses; its standard error is ``mean / sqrt(losses)``.
+    """
+    censored = trials - losses
+    if trials > 0 and censored / trials > CENSORED_WARNING_FRACTION:
+        warnings.warn(
+            f"{censored} of {trials} trials were censored at the horizon "
+            f"({censored / trials:.0%}); the MLE stays unbiased but its "
+            "confidence interval is wide — extend max_time or trials",
+            HighCensoringWarning,
+            stacklevel=3,
+        )
+    if losses == 0:
+        return MonteCarloEstimate(
+            mean=math.inf, std_error=math.inf, trials=trials, censored=censored
+        )
+    mean = total_time / losses
+    return MonteCarloEstimate(
+        mean=mean,
+        std_error=mean / math.sqrt(losses),
+        trials=trials,
+        censored=censored,
+    )
+
+
 def estimate_mttdl(
     model: Optional[FaultModel] = None,
     trials: int = 200,
@@ -74,27 +207,41 @@ def estimate_mttdl(
     replicas: int = 2,
     audits_per_year: Optional[float] = None,
     factory: Optional[SystemFactory] = None,
+    backend: str = "event",
+    target_relative_error: Optional[float] = None,
+    max_trials: Optional[int] = None,
 ) -> MonteCarloEstimate:
     """Estimate the MTTDL by simulating until data loss.
 
     Each trial runs an independent system until data loss or ``max_time``
-    (default: 200 times the analytic mirrored MTTDL scale, capped so runs
-    terminate).  Censored trials contribute their censoring time, which
-    biases the estimate downward; keep ``max_time`` generous or check the
-    ``censored`` count.
+    (default: 1000 times the model's mean time to a visible fault —
+    generous for the compressed-time operating points used in tests and
+    examples, but highly reliable configurations need an explicit
+    ``max_time`` to keep censoring rare).  Trials that survive to the
+    horizon are *censored*
+    and enter the censoring-correct exponential MLE (total observed time
+    divided by observed losses) rather than biasing a sample mean; a
+    :class:`HighCensoringWarning` fires when more than 20% of trials are
+    censored.
 
-    Either ``model`` or ``factory`` must be provided.
+    Either ``model`` or ``factory`` must be provided; the ``batch``
+    backend requires a model.  With ``target_relative_error`` the run
+    extends in chunks of ``trials`` until the standard error falls below
+    that fraction of the mean or ``max_trials`` (default 64 chunks) is
+    reached.
 
     Raises:
-        ValueError: if neither a model nor a factory is given, or trials
-            is not positive.
+        ValueError: if neither a model nor a factory is given, trials is
+            not positive, or the backend/factory combination is invalid.
     """
     if trials <= 0:
         raise ValueError("trials must be positive")
+    _check_backend(backend, factory)
     if factory is None:
         if model is None:
             raise ValueError("either model or factory must be provided")
-        factory = _default_factory(model, replicas, audits_per_year)
+        if backend == "event":
+            factory = _default_factory(model, replicas, audits_per_year)
     if max_time is None:
         if model is not None:
             # A horizon long enough that censoring is rare: many multiples
@@ -104,20 +251,42 @@ def estimate_mttdl(
         else:
             max_time = 1e9
 
+    cap = _adaptive_cap(trials, max_trials)
+    total_time = 0.0
+    losses = 0
+    done = 0
+    chunk = 0
     root = RandomStreams(seed=seed)
-    times = np.empty(trials)
-    censored = 0
-    for trial in range(trials):
-        system = factory(root.spawn(trial))
-        result = system.run(max_time=max_time)
-        times[trial] = result.end_time
-        if not result.lost:
-            censored += 1
-    mean = float(times.mean())
-    std_error = float(times.std(ddof=1) / math.sqrt(trials)) if trials > 1 else 0.0
-    return MonteCarloEstimate(
-        mean=mean, std_error=std_error, trials=trials, censored=censored
-    )
+    while True:
+        # The final adaptive chunk is clamped so max_trials is a hard
+        # cap, not "the last multiple of trials past the cap".
+        chunk_trials = min(trials, cap - done) if done else trials
+        if backend == "batch":
+            result = simulate_batch(
+                model,
+                trials=chunk_trials,
+                horizon=max_time,
+                seed=seed,
+                replicas=replicas,
+                audits_per_year=audits_per_year,
+                chunk=chunk,
+            )
+            total_time += result.total_observed_time
+            losses += result.losses
+        else:
+            for trial in range(done, done + chunk_trials):
+                outcome = factory(root.spawn(trial)).run(max_time=max_time)
+                total_time += outcome.end_time
+                if outcome.lost:
+                    losses += 1
+        done += chunk_trials
+        chunk += 1
+        if target_relative_error is None or done >= cap:
+            break
+        # The MLE's relative error is exactly 1 / sqrt(losses).
+        if losses > 0 and 1.0 / math.sqrt(losses) <= target_relative_error:
+            break
+    return _mttdl_estimate(total_time, losses, done)
 
 
 def estimate_loss_probability(
@@ -128,31 +297,71 @@ def estimate_loss_probability(
     replicas: int = 2,
     audits_per_year: Optional[float] = None,
     factory: Optional[SystemFactory] = None,
+    backend: str = "event",
+    target_relative_error: Optional[float] = None,
+    max_trials: Optional[int] = None,
 ) -> MonteCarloEstimate:
     """Estimate the probability of data loss within a mission time.
 
     This matches the paper's "probability of data loss in 50 years"
-    metric without the exponential shortcut.
+    metric without the exponential shortcut.  The returned estimate's
+    confidence interval is clamped to [0, 1].  ``backend`` and
+    ``target_relative_error`` behave as in :func:`estimate_mttdl`.
     """
     if trials <= 0:
         raise ValueError("trials must be positive")
     if mission_time <= 0:
         raise ValueError("mission_time must be positive")
+    _check_backend(backend, factory)
     if factory is None:
         if model is None:
             raise ValueError("either model or factory must be provided")
-        factory = _default_factory(model, replicas, audits_per_year)
+        if backend == "event":
+            factory = _default_factory(model, replicas, audits_per_year)
 
-    root = RandomStreams(seed=seed)
+    cap = _adaptive_cap(trials, max_trials)
     losses = 0
-    for trial in range(trials):
-        system = factory(root.spawn(trial))
-        result = system.run(max_time=mission_time)
-        if result.lost:
-            losses += 1
-    p = losses / trials
-    std_error = math.sqrt(max(p * (1.0 - p), 1e-12) / trials)
-    return MonteCarloEstimate(mean=p, std_error=std_error, trials=trials)
+    done = 0
+    chunk = 0
+    root = RandomStreams(seed=seed)
+    while True:
+        chunk_trials = min(trials, cap - done) if done else trials
+        if backend == "batch":
+            result = simulate_batch(
+                model,
+                trials=chunk_trials,
+                horizon=mission_time,
+                seed=seed,
+                replicas=replicas,
+                audits_per_year=audits_per_year,
+                chunk=chunk,
+            )
+            losses += result.losses
+        else:
+            for trial in range(done, done + chunk_trials):
+                outcome = factory(root.spawn(trial)).run(max_time=mission_time)
+                if outcome.lost:
+                    losses += 1
+        done += chunk_trials
+        chunk += 1
+        if target_relative_error is None or done >= cap:
+            break
+        p_so_far = losses / done
+        if losses > 0:
+            relative = math.sqrt((1.0 - p_so_far) / (p_so_far * done))
+            if relative <= target_relative_error:
+                break
+    p = losses / done
+    std_error = math.sqrt(max(p * (1.0 - p), 1e-12) / done)
+    return MonteCarloEstimate(
+        mean=p,
+        std_error=std_error,
+        trials=done,
+        # Surviving trials are censored-at-mission-end observations, so
+        # the ``losses`` property stays meaningful for this estimator.
+        censored=done - losses,
+        clamp_hi=1.0,
+    )
 
 
 def double_fault_combination_counts(
@@ -161,6 +370,7 @@ def double_fault_combination_counts(
     seed: int = 0,
     max_time: Optional[float] = None,
     replicas: int = 2,
+    backend: str = "event",
 ) -> Dict[Tuple[FaultType, FaultType], int]:
     """Count which (first fault, final fault) combination caused each loss.
 
@@ -170,8 +380,14 @@ def double_fault_combination_counts(
     """
     if trials <= 0:
         raise ValueError("trials must be positive")
+    _check_backend(backend, None)
     if max_time is None:
         max_time = 1000.0 * model.mean_time_to_visible
+    if backend == "batch":
+        result = simulate_batch(
+            model, trials=trials, horizon=max_time, seed=seed, replicas=replicas
+        )
+        return result.combination_counts()
     root = RandomStreams(seed=seed)
     counts: Dict[Tuple[FaultType, FaultType], int] = {
         (first, second): 0

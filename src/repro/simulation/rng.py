@@ -6,14 +6,40 @@ own named stream, all derived from a single seed.  Separate streams keep
 results reproducible even when components are added or removed, and make
 variance-reduction comparisons (same fault stream, different audit
 policy) possible.
+
+Seeding scheme
+--------------
+
+All generators are derived from :class:`numpy.random.SeedSequence` with
+``entropy = root seed`` and a *spawn key* encoding the path from the
+root:
+
+* the root family has an empty spawn key;
+* ``spawn(offset)`` appends ``offset`` to the spawn key (Monte-Carlo
+  trial ``t`` of root seed ``s`` is ``entropy=s, spawn_key=(..., t)``);
+* a named stream appends the CRC-32 digest of its name.
+
+Because the root seed is carried as entropy (never folded into an
+arithmetic child seed) and spawn keys form a tree, stream families of
+*different* root seeds can never collide, and within one root seed every
+``(trial path, stream name)`` pair maps to a distinct generator.  The
+batch backend (:mod:`repro.simulation.batch`) draws from the same root
+entropy under a reserved spawn tag (:data:`BATCH_SPAWN_TAG`) that is
+larger than any CRC-32 digest, so batched draws never overlap the
+event-driven per-trial streams either.
 """
 
 from __future__ import annotations
 
 import zlib
-from typing import Dict
+from typing import Dict, Tuple
 
 import numpy as np
+
+#: Spawn-key tag reserved for the vectorized batch backend.  CRC-32
+#: digests are below 2**32, so a tag above that bound cannot collide
+#: with any named stream of the event-driven simulator.
+BATCH_SPAWN_TAG = 2**32 + 1
 
 
 class RandomStreams:
@@ -23,16 +49,22 @@ class RandomStreams:
     same name always maps to the same deterministic child seed.
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, _spawn_key: Tuple[int, ...] = ()) -> None:
         if seed < 0:
             raise ValueError("seed must be non-negative")
         self._seed = seed
+        self._spawn_key = tuple(_spawn_key)
         self._streams: Dict[str, np.random.Generator] = {}
 
     @property
     def seed(self) -> int:
-        """The root seed."""
+        """The root seed (shared by every family spawned from it)."""
         return self._seed
+
+    @property
+    def spawn_key(self) -> Tuple[int, ...]:
+        """Path of spawn offsets from the root family to this one."""
+        return self._spawn_key
 
     def stream(self, name: str) -> np.random.Generator:
         """Return the generator for ``name``, creating it if needed."""
@@ -42,7 +74,7 @@ class RandomStreams:
             # reproducibility across runs.
             digest = zlib.crc32(name.encode("utf-8"))
             child_seed = np.random.SeedSequence(
-                entropy=self._seed, spawn_key=(digest,)
+                entropy=self._seed, spawn_key=self._spawn_key + (digest,)
             )
             self._streams[name] = np.random.default_rng(child_seed)
         return self._streams[name]
@@ -75,8 +107,33 @@ class RandomStreams:
         """Derive an independent family for one Monte-Carlo trial.
 
         Trials use ``spawn(trial_index)`` so every trial is reproducible
-        and independent of how many trials run.
+        and independent of how many trials run.  The child keeps the
+        root seed as entropy and extends the spawn key with ``offset``,
+        so families spawned from different root seeds can never collide
+        (the old arithmetic scheme ``seed * 1_000_003 + offset + 1``
+        could: seed 0 / offset 1_000_003 aliased seed 1 / offset 0).
         """
         if offset < 0:
             raise ValueError("offset must be non-negative")
-        return RandomStreams(seed=self._seed * 1_000_003 + offset + 1)
+        return RandomStreams(
+            seed=self._seed, _spawn_key=self._spawn_key + (offset,)
+        )
+
+
+def batch_generator(seed: int, chunk: int = 0) -> np.random.Generator:
+    """Generator for one chunk of the vectorized batch backend.
+
+    Chunks are numbered so adaptive sampling can keep extending a batch
+    with fresh, non-overlapping draws while staying reproducible for a
+    given root seed.  The reserved :data:`BATCH_SPAWN_TAG` keeps these
+    draws disjoint from every event-driven trial stream of the same
+    seed.
+    """
+    if seed < 0:
+        raise ValueError("seed must be non-negative")
+    if chunk < 0:
+        raise ValueError("chunk must be non-negative")
+    sequence = np.random.SeedSequence(
+        entropy=seed, spawn_key=(BATCH_SPAWN_TAG, chunk)
+    )
+    return np.random.default_rng(sequence)

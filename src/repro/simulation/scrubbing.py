@@ -178,6 +178,36 @@ class OnAccessDetection(ScrubPolicy):
         return HOURS_PER_YEAR / self.mean_access_interval_hours
 
 
+def audit_interval_for(model, audits_per_year=None):
+    """Audit-grid interval implied by a model, or None for no scrubbing.
+
+    The single owner of the scrub-interval convention shared by the
+    event-driven and batch backends: the interval is twice the model's
+    ``MDL`` (the paper's "MDL is half the scrub period") unless
+    ``audits_per_year`` overrides it; models whose ``MDL`` is no better
+    than the latent mean time get no scrubbing at all.
+
+    Args:
+        model: a :class:`~repro.core.parameters.FaultModel`.
+        audits_per_year: optional audit-rate override (0 disables
+            scrubbing).
+
+    Returns:
+        The interval in hours, or ``None`` when audits never happen.
+    """
+    from repro.core.units import HOURS_PER_YEAR
+
+    if audits_per_year is not None:
+        if audits_per_year < 0:
+            raise ValueError("audits_per_year must be non-negative")
+        if audits_per_year == 0:
+            return None
+        return HOURS_PER_YEAR / audits_per_year
+    if model.mean_detect_latent >= model.mean_time_to_latent:
+        return None
+    return 2.0 * model.mean_detect_latent
+
+
 def policy_for_audits_per_year(
     audits_per_year: float, coverage: float = 1.0, poisson: bool = False
 ) -> ScrubPolicy:

@@ -360,14 +360,16 @@ def system_from_fault_model(
     """
     if streams is None:
         streams = RandomStreams(seed=0)
-    if audits_per_year is not None:
-        from repro.simulation.scrubbing import policy_for_audits_per_year
+    from repro.simulation.scrubbing import audit_interval_for
 
-        scrub: ScrubPolicy = policy_for_audits_per_year(audits_per_year)
-    elif model.mean_detect_latent >= model.mean_time_to_latent:
+    # The interval convention is shared with the batch backend so the
+    # two simulators always agree on the scrubbing physics.
+    interval = audit_interval_for(model, audits_per_year)
+    scrub: ScrubPolicy
+    if interval is None:
         scrub = NoScrubbing()
     else:
-        scrub = PeriodicScrubbing(interval_hours=2.0 * model.mean_detect_latent)
+        scrub = PeriodicScrubbing(interval_hours=interval)
     correlation: CorrelationModel
     if use_multiplicative_correlation and model.correlation_factor < 1.0:
         correlation = MultiplicativeCorrelation(alpha=model.correlation_factor)

@@ -35,16 +35,16 @@ def cheetah_negligent_model() -> FaultModel:
     return cheetah_negligent_scenario().model
 
 
-@pytest.fixture
-def fast_model() -> FaultModel:
-    """A scaled-down model whose MTTDL is short enough for quick simulation.
+def make_fast_model(**overrides) -> FaultModel:
+    """The canonical compressed-time operating point, with overrides.
 
     Fault mean times are in the hundreds of hours so Monte-Carlo runs
     converge in milliseconds while preserving the paper's structure
     (latent faults five times as frequent as visible ones, scrubbing
-    interval well below the latent mean time).
+    interval well below the latent mean time).  Tests that need variants
+    override individual fields via keyword arguments.
     """
-    return FaultModel(
+    base = dict(
         mean_time_to_visible=500.0,
         mean_time_to_latent=100.0,
         mean_repair_visible=1.0,
@@ -52,3 +52,17 @@ def fast_model() -> FaultModel:
         mean_detect_latent=5.0,
         correlation_factor=1.0,
     )
+    base.update(overrides)
+    return FaultModel(**base)
+
+
+@pytest.fixture
+def fast_model() -> FaultModel:
+    """A scaled-down model whose MTTDL is short enough for quick simulation."""
+    return make_fast_model()
+
+
+@pytest.fixture
+def fast_model_factory():
+    """The :func:`make_fast_model` factory, for tests needing variants."""
+    return make_fast_model

@@ -1,0 +1,348 @@
+"""Cross-validation of the vectorized batch backend.
+
+The batch simulator must reproduce the event-driven backend's estimates
+within Monte-Carlo noise on the paper's operating points — same physics,
+different execution strategy.  Determinism, adaptive sampling, and the
+argument validation of the ``backend`` switch are covered here too.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.faults import FaultType
+from repro.core.parameters import FaultModel
+from repro.core.units import HOURS_PER_YEAR
+from repro.simulation.batch import (
+    BatchRunResult,
+    audit_interval_for,
+    simulate_batch,
+)
+from repro.simulation.monte_carlo import (
+    double_fault_combination_counts,
+    estimate_loss_probability,
+    estimate_mttdl,
+)
+
+
+def paper_model():
+    """The paper's scrubbed Cheetah mirrored pair (Section 5.4)."""
+    return FaultModel(
+        mean_time_to_visible=1.4e6,
+        mean_time_to_latent=2.8e5,
+        mean_repair_visible=1.0 / 3.0,
+        mean_repair_latent=1.0 / 3.0,
+        mean_detect_latent=1460.0,
+        correlation_factor=1.0,
+    )
+
+
+def intervals_overlap(a, b):
+    (a_lo, a_hi), (b_lo, b_hi) = a.confidence_interval(), b.confidence_interval()
+    return a_lo <= b_hi and b_lo <= a_hi
+
+
+class TestSimulateBatch:
+    @pytest.fixture(autouse=True)
+    def _bind_fast_model(self, fast_model_factory):
+        # The canonical compressed-time model lives in tests/conftest.py.
+        self.fast_model = fast_model_factory
+
+    def test_deterministic_for_same_seed(self):
+        a = simulate_batch(self.fast_model(), trials=200, horizon=1e5, seed=3)
+        b = simulate_batch(self.fast_model(), trials=200, horizon=1e5, seed=3)
+        assert np.array_equal(a.end_time, b.end_time)
+        assert np.array_equal(a.lost, b.lost)
+
+    def test_different_seeds_differ(self):
+        a = simulate_batch(self.fast_model(), trials=200, horizon=1e5, seed=3)
+        b = simulate_batch(self.fast_model(), trials=200, horizon=1e5, seed=4)
+        assert not np.array_equal(a.end_time, b.end_time)
+
+    def test_chunks_are_independent(self):
+        a = simulate_batch(self.fast_model(), trials=200, horizon=1e5, seed=3, chunk=0)
+        b = simulate_batch(self.fast_model(), trials=200, horizon=1e5, seed=3, chunk=1)
+        assert not np.array_equal(a.end_time, b.end_time)
+
+    def test_censored_trials_end_at_horizon(self):
+        result = simulate_batch(self.fast_model(), trials=100, horizon=50.0, seed=1)
+        censored = ~result.lost
+        assert censored.any()
+        assert np.all(result.end_time[censored] == 50.0)
+        assert np.all(result.first_fault_type[censored] == -1)
+
+    def test_lost_trials_have_fault_types(self):
+        result = simulate_batch(self.fast_model(), trials=300, horizon=1e6, seed=2)
+        assert result.lost.all()
+        assert np.all(result.first_fault_type[result.lost] > 0)
+        assert np.all(result.final_fault_type[result.lost] > 0)
+        assert np.all(result.end_time[result.lost] < 1e6)
+
+    def test_single_replica_loses_at_first_fault(self):
+        model = self.fast_model()
+        result = simulate_batch(model, trials=2000, horizon=1e5, seed=5, replicas=1)
+        assert result.lost.all()
+        # Mean time to the first of two competing exponentials.
+        expected = 1.0 / (1.0 / 500.0 + 1.0 / 100.0)
+        assert result.end_time.mean() == pytest.approx(expected, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_batch(self.fast_model(), trials=0, horizon=1e5)
+        with pytest.raises(ValueError):
+            simulate_batch(self.fast_model(), trials=10, horizon=0.0)
+        with pytest.raises(ValueError):
+            simulate_batch(self.fast_model(), trials=10, horizon=1e5, replicas=0)
+
+    def test_audit_interval_matches_event_backend_convention(self):
+        assert audit_interval_for(self.fast_model()) == pytest.approx(10.0)
+        assert audit_interval_for(self.fast_model(), audits_per_year=0.0) is None
+        assert audit_interval_for(
+            self.fast_model(), audits_per_year=12.0
+        ) == pytest.approx(HOURS_PER_YEAR / 12.0)
+        # MDL no better than the latent mean time means no scrubbing.
+        assert audit_interval_for(self.fast_model(mean_detect_latent=100.0)) is None
+
+    def test_combination_counts_sum_to_losses(self):
+        result = simulate_batch(self.fast_model(), trials=300, horizon=1e6, seed=9)
+        counts = result.combination_counts()
+        assert sum(counts.values()) == result.losses
+
+
+class TestBackendCrossValidation:
+    @pytest.fixture(autouse=True)
+    def _bind_fast_model(self, fast_model_factory):
+        # The canonical compressed-time model lives in tests/conftest.py.
+        self.fast_model = fast_model_factory
+
+    def test_mttdl_matches_event_backend(self):
+        model = self.fast_model()
+        event = estimate_mttdl(model, trials=300, seed=2, max_time=1e6)
+        batch = estimate_mttdl(
+            model, trials=2000, seed=2, max_time=1e6, backend="batch"
+        )
+        assert intervals_overlap(event, batch)
+
+    def test_mttdl_matches_with_correlation(self):
+        model = self.fast_model(correlation_factor=0.2)
+        event = estimate_mttdl(model, trials=300, seed=4, max_time=1e6)
+        batch = estimate_mttdl(
+            model, trials=2000, seed=4, max_time=1e6, backend="batch"
+        )
+        assert intervals_overlap(event, batch)
+        # Correlation must hurt in both backends.
+        independent = estimate_mttdl(
+            self.fast_model(), trials=2000, seed=4, max_time=1e6, backend="batch"
+        )
+        assert batch.mean < independent.mean
+
+    def test_mttdl_matches_with_three_replicas(self):
+        model = self.fast_model()
+        event = estimate_mttdl(model, trials=150, seed=6, max_time=1e7, replicas=3)
+        batch = estimate_mttdl(
+            model, trials=1500, seed=6, max_time=1e7, replicas=3, backend="batch"
+        )
+        assert intervals_overlap(event, batch)
+
+    def test_loss_probability_matches_event_backend(self):
+        model = self.fast_model()
+        event = estimate_loss_probability(
+            model, mission_time=1500.0, trials=400, seed=3
+        )
+        batch = estimate_loss_probability(
+            model, mission_time=1500.0, trials=4000, seed=3, backend="batch"
+        )
+        assert intervals_overlap(event, batch)
+
+    def test_loss_probability_on_paper_operating_point(self):
+        # The paper's 50-year mission on the scrubbed Cheetah pair: loss
+        # is rare, so both backends must report a probability near zero
+        # with overlapping confidence intervals.
+        model = paper_model()
+        mission = 50.0 * HOURS_PER_YEAR
+        event = estimate_loss_probability(
+            model, mission_time=mission, trials=150, seed=1
+        )
+        batch = estimate_loss_probability(
+            model, mission_time=mission, trials=3000, seed=1, backend="batch"
+        )
+        assert intervals_overlap(event, batch)
+        # The scrubbed pair's MTTDL is ~2.5k years, so ~2% loss risk in
+        # a 50-year mission; both backends must sit in that regime.
+        assert 0.001 < batch.mean < 0.05
+
+    def test_scrubbing_improves_batch_mttdl(self):
+        base = self.fast_model()
+        scrubbed = estimate_mttdl(
+            base, trials=2000, seed=3, max_time=1e6, backend="batch"
+        )
+        unscrubbed = estimate_mttdl(
+            base.with_detection_time(base.mean_time_to_latent),
+            trials=2000,
+            seed=3,
+            max_time=1e6,
+            backend="batch",
+        )
+        assert scrubbed.mean > unscrubbed.mean
+
+    def test_double_fault_combinations_match(self):
+        model = self.fast_model(mean_detect_latent=100.0)
+        event = double_fault_combination_counts(
+            model, trials=200, seed=8, max_time=1e6
+        )
+        batch = double_fault_combination_counts(
+            model, trials=2000, seed=8, max_time=1e6, backend="batch"
+        )
+        assert set(batch) == set(event)
+        # With slow detection, latent-first losses dominate in both.
+        for counts in (event, batch):
+            latent_first = (
+                counts[(FaultType.LATENT, FaultType.VISIBLE)]
+                + counts[(FaultType.LATENT, FaultType.LATENT)]
+            )
+            visible_first = (
+                counts[(FaultType.VISIBLE, FaultType.VISIBLE)]
+                + counts[(FaultType.VISIBLE, FaultType.LATENT)]
+            )
+            assert latent_first > visible_first
+        # The dominant-combination *fractions* agree within coarse noise.
+        event_total = sum(event.values())
+        batch_total = sum(batch.values())
+        key = (FaultType.LATENT, FaultType.LATENT)
+        assert event[key] / event_total == pytest.approx(
+            batch[key] / batch_total, abs=0.1
+        )
+
+    def test_batch_rejects_factory(self):
+        with pytest.raises(ValueError):
+            estimate_mttdl(
+                factory=lambda streams: None, trials=10, backend="batch"
+            )
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_mttdl(self.fast_model(), trials=10, backend="gpu")
+
+
+class TestAdaptiveSampling:
+    @pytest.fixture(autouse=True)
+    def _bind_fast_model(self, fast_model_factory):
+        # The canonical compressed-time model lives in tests/conftest.py.
+        self.fast_model = fast_model_factory
+
+    def test_extends_until_target_met(self):
+        estimate = estimate_mttdl(
+            self.fast_model(),
+            trials=100,
+            seed=5,
+            max_time=1e6,
+            backend="batch",
+            target_relative_error=0.02,
+        )
+        # 1/sqrt(losses) <= 0.02 needs >= 2500 losses, i.e. many chunks.
+        assert estimate.trials > 100
+        assert estimate.relative_error <= 0.02
+
+    def test_single_chunk_when_target_already_met(self):
+        estimate = estimate_mttdl(
+            self.fast_model(),
+            trials=500,
+            seed=5,
+            max_time=1e6,
+            backend="batch",
+            target_relative_error=0.2,
+        )
+        assert estimate.trials == 500
+
+    def test_respects_max_trials(self):
+        estimate = estimate_mttdl(
+            self.fast_model(),
+            trials=100,
+            seed=5,
+            max_time=1e6,
+            backend="batch",
+            target_relative_error=0.001,
+            max_trials=400,
+        )
+        assert estimate.trials == 400
+        assert estimate.relative_error > 0.001
+
+    def test_max_trials_is_a_hard_cap_for_partial_chunks(self):
+        # A cap that is not a multiple of the chunk size clamps the
+        # final chunk instead of overshooting by up to trials - 1.
+        estimate = estimate_mttdl(
+            self.fast_model(),
+            trials=100,
+            seed=5,
+            max_time=1e6,
+            backend="batch",
+            target_relative_error=1e-9,
+            max_trials=150,
+        )
+        assert estimate.trials == 150
+
+    def test_max_trials_below_initial_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_mttdl(
+                self.fast_model(),
+                trials=100,
+                backend="batch",
+                target_relative_error=0.1,
+                max_trials=50,
+            )
+
+    def test_adaptive_is_reproducible(self):
+        kwargs = dict(
+            trials=200,
+            seed=7,
+            max_time=1e6,
+            backend="batch",
+            target_relative_error=0.05,
+        )
+        a = estimate_mttdl(self.fast_model(), **kwargs)
+        b = estimate_mttdl(self.fast_model(), **kwargs)
+        assert a.mean == b.mean
+        assert a.trials == b.trials
+
+    def test_adaptive_works_on_event_backend(self):
+        estimate = estimate_mttdl(
+            self.fast_model(),
+            trials=40,
+            seed=5,
+            max_time=1e6,
+            backend="event",
+            target_relative_error=0.1,
+        )
+        assert estimate.trials >= 100
+        assert estimate.relative_error <= 0.1
+
+    def test_adaptive_loss_probability(self):
+        estimate = estimate_loss_probability(
+            self.fast_model(),
+            mission_time=1500.0,
+            trials=200,
+            seed=5,
+            backend="batch",
+            target_relative_error=0.02,
+        )
+        assert estimate.relative_error <= 0.02
+        assert 0.0 < estimate.mean < 1.0
+
+
+class TestBatchRunResultProperties:
+    def test_counts(self):
+        result = BatchRunResult(
+            lost=np.array([True, False, True]),
+            end_time=np.array([10.0, 100.0, 20.0]),
+            first_fault_type=np.array([1, -1, 2], dtype=np.int8),
+            final_fault_type=np.array([2, -1, 2], dtype=np.int8),
+            horizon=100.0,
+            sweeps=7,
+        )
+        assert result.trials == 3
+        assert result.losses == 2
+        assert result.censored == 1
+        assert result.total_observed_time == pytest.approx(130.0)
+        counts = result.combination_counts()
+        assert counts[(FaultType.VISIBLE, FaultType.LATENT)] == 1
+        assert counts[(FaultType.LATENT, FaultType.LATENT)] == 1
+        assert sum(counts.values()) == 2

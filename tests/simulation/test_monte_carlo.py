@@ -1,5 +1,8 @@
 """Tests for the Monte-Carlo estimation harness and lifetime curves."""
 
+import math
+import warnings
+
 import pytest
 
 from repro.core.faults import FaultType
@@ -11,6 +14,7 @@ from repro.simulation.lifetime import (
     mission_summary,
 )
 from repro.simulation.monte_carlo import (
+    HighCensoringWarning,
     MonteCarloEstimate,
     double_fault_combination_counts,
     estimate_loss_probability,
@@ -46,6 +50,38 @@ class TestMonteCarloEstimate:
     def test_relative_error_zero_mean(self):
         assert MonteCarloEstimate(0.0, 1.0, 10).relative_error == 0.0
 
+    def test_confidence_interval_clamps_below_zero(self):
+        # Times and probabilities cannot be negative: the default clamp
+        # keeps the normal-approximation interval physical.
+        estimate = MonteCarloEstimate(mean=1.0, std_error=2.0, trials=5)
+        low, high = estimate.confidence_interval()
+        assert low == 0.0
+        assert high == pytest.approx(1.0 + 1.96 * 2.0)
+
+    def test_confidence_interval_clamp_can_be_disabled(self):
+        estimate = MonteCarloEstimate(mean=1.0, std_error=2.0, trials=5)
+        low, _ = estimate.confidence_interval(lo=None)
+        assert low == pytest.approx(1.0 - 1.96 * 2.0)
+
+    def test_confidence_interval_upper_clamp(self):
+        estimate = MonteCarloEstimate(
+            mean=0.98, std_error=0.05, trials=50, clamp_hi=1.0
+        )
+        low, high = estimate.confidence_interval()
+        assert high == 1.0
+        assert 0.0 <= low < 0.98
+
+    def test_confidence_interval_with_infinite_mean(self):
+        estimate = MonteCarloEstimate(
+            mean=float("inf"), std_error=float("inf"), trials=10, censored=10
+        )
+        low, high = estimate.confidence_interval()
+        assert low == 0.0
+        assert high == float("inf")
+
+    def test_losses_property(self):
+        assert MonteCarloEstimate(1.0, 0.1, 40, censored=15).losses == 25
+
 
 class TestEstimateMttdl:
     def test_reproducible_for_same_seed(self):
@@ -77,9 +113,51 @@ class TestEstimateMttdl:
     def test_censoring_reported(self):
         # A 10-hour horizon is far below the MTTDL, so essentially every
         # trial is censored (an occasional early double fault is possible).
-        estimate = estimate_mttdl(fast_model(), trials=20, seed=4, max_time=10.0)
+        with pytest.warns(HighCensoringWarning):
+            estimate = estimate_mttdl(
+                fast_model(), trials=20, seed=4, max_time=10.0
+            )
         assert estimate.censored >= 18
-        assert estimate.mean <= 10.0
+        # The censoring-correct MLE never folds horizon times into the
+        # mean: with no observed losses the estimate is infinite, and
+        # with a handful of losses it is at least total-time / losses,
+        # far above the 10-hour horizon.
+        assert estimate.mean > 10.0
+
+    def test_censored_trials_do_not_bias_the_mean_downward(self):
+        # The same operating point estimated under a tight horizon (heavy
+        # censoring) must not come out below the generous-horizon answer,
+        # which is what folding horizon times into a plain mean did.
+        model = fast_model()
+        generous = estimate_mttdl(model, trials=150, seed=21, max_time=1e6)
+        assert generous.censored == 0
+        with pytest.warns(HighCensoringWarning):
+            tight = estimate_mttdl(model, trials=150, seed=21, max_time=300.0)
+        assert tight.censored > 30
+        # Biased estimator would give ~<300; the MLE stays in the same
+        # range as the uncensored answer (within a few standard errors).
+        assert tight.mean > generous.mean - 4 * (
+            tight.std_error + generous.std_error
+        )
+        assert tight.mean > 400.0
+
+    def test_no_warning_when_censoring_is_rare(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", HighCensoringWarning)
+            estimate = estimate_mttdl(
+                fast_model(), trials=40, seed=2, max_time=1e6
+            )
+        assert estimate.censored <= 0.2 * estimate.trials
+
+    def test_mle_equals_plain_mean_without_censoring(self):
+        # With zero censored trials, total time / losses is exactly the
+        # sample mean of the loss times.
+        estimate = estimate_mttdl(fast_model(), trials=50, seed=13, max_time=1e6)
+        assert estimate.censored == 0
+        assert estimate.losses == 50
+        assert estimate.std_error == pytest.approx(
+            estimate.mean / math.sqrt(50)
+        )
 
     def test_requires_model_or_factory(self):
         with pytest.raises(ValueError):

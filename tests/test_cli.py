@@ -33,6 +33,19 @@ class TestParser:
         assert args.max_replicas == 4
         assert args.alphas == ["1.0", "0.5"]
 
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.backend == "batch"
+        assert args.metric == "mttdl"
+        assert args.trials == 1000
+        assert args.target_relative_error is None
+
+    def test_simulate_backend_choices(self):
+        args = build_parser().parse_args(["simulate", "--backend", "event"])
+        assert args.backend == "event"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--backend", "gpu"])
+
 
 class TestCommands:
     def test_scenarios_output(self, capsys):
@@ -73,6 +86,43 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "markov" in output
         assert "analytic_capped" in output
+
+    def test_simulate_mttdl_output(self, capsys):
+        # A compressed-time model keeps the simulation quick and free of
+        # censoring; the batch backend is the default.
+        assert main([
+            "simulate", "--mv", "500", "--ml", "100", "--mrv", "1",
+            "--mrl", "1", "--mdl", "5", "--trials", "400",
+            "--max-time", "1e6",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "simulated MTTDL (batch backend)" in output
+        assert "95% CI low (years)" in output
+        assert "censored" in output
+
+    def test_simulate_loss_metric_event_backend(self, capsys):
+        assert main([
+            "simulate", "--mv", "500", "--ml", "100", "--mrv", "1",
+            "--mrl", "1", "--mdl", "5", "--metric", "loss",
+            "--backend", "event", "--trials", "50",
+            "--mission-years", "1",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "simulated loss probability (event backend)" in output
+        assert "P(loss in 1 years)" in output
+
+    def test_simulate_adaptive_flag(self, capsys):
+        assert main([
+            "simulate", "--mv", "500", "--ml", "100", "--mrv", "1",
+            "--mrl", "1", "--mdl", "5", "--trials", "200",
+            "--max-time", "1e6", "--target-relative-error", "0.1",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "simulated MTTDL (batch backend)" in output
+
+    def test_simulate_rejects_bad_trials(self, capsys):
+        assert main(["simulate", "--trials", "0"]) == 2
+        assert "error" in capsys.readouterr().err
 
     def test_scrubbing_story_visible_from_cli(self, capsys):
         # The headline comparison should be reproducible from the CLI:
