@@ -16,6 +16,11 @@ storage architect:
 Run with::
 
     python examples/photo_archive_planning.py
+
+This walkthrough compares three hand-picked designs; to have the
+``repro.optimize`` planner search the whole design space and read the
+answer off a cost-reliability Pareto frontier instead, see
+``examples/plan_archive_budget.py``.
 """
 
 from repro.analysis.tables import format_dict, format_table

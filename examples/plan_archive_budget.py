@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Plan an archive under an explicit annual budget with the optimizer.
+
+Where ``photo_archive_planning.py`` walks through three hand-picked
+designs, this example hands the whole decision to the
+:mod:`repro.optimize` planner: declare the design space (media,
+replication degrees, audit rates, placements), let the analytic screen
+prune the dominated corners, refine the survivors with batch
+Monte-Carlo, and read the recommendation off the cost–reliability
+Pareto frontier.
+
+Run with::
+
+    python examples/plan_archive_budget.py
+"""
+
+from repro.analysis.plotting import ascii_line_chart
+from repro.analysis.tables import format_dict, format_table
+from repro.optimize import (
+    DesignSpace,
+    EvaluationSettings,
+    optimize,
+    recommend,
+)
+
+#: The collection: 25 TB of institutional records, a 50-year mission,
+#: and $20,000 a year to keep them safe.
+DATASET_TB = 25.0
+MISSION_YEARS = 50.0
+ANNUAL_BUDGET = 20_000.0
+
+
+def main() -> None:
+    space = DesignSpace(
+        dataset_tb=DATASET_TB,
+        media=("drive:barracuda", "drive:cheetah", "media:tape"),
+        replica_counts=(2, 3, 4),
+        audit_rates=(0.0, 1.0, 12.0, 52.0),
+        placements=("single", "multi"),
+        site_cost_per_year=1_500.0,
+    )
+    settings = EvaluationSettings(
+        mission_years=MISSION_YEARS, trials=2_000, seed=2006
+    )
+    print(
+        f"Searching {space.size} candidate designs for {DATASET_TB:g} TB "
+        f"over {MISSION_YEARS:g} years...\n"
+    )
+    result = optimize(space, settings, jobs=2)
+
+    summary = result.summary()
+    print(
+        format_dict(
+            {
+                "candidates": summary["candidates"],
+                "pruned by analytic screen": summary["pruned_by_screen"],
+                "refined by Monte-Carlo": summary["refined"],
+            },
+            title="search effort",
+        )
+    )
+
+    rows = []
+    for evaluation in result.frontier:
+        candidate = evaluation.candidate
+        rows.append(
+            [
+                candidate.medium,
+                candidate.replicas,
+                candidate.audits_per_year,
+                candidate.placement,
+                evaluation.annual_cost,
+                evaluation.analytic_loss_probability,
+                evaluation.loss_high,
+            ]
+        )
+    print()
+    print(
+        format_table(
+            [
+                "medium",
+                "replicas",
+                "audits/yr",
+                "placement",
+                "cost ($/yr)",
+                "screen P(loss)",
+                "sim CI high",
+            ],
+            rows,
+            title="cost-reliability Pareto frontier",
+        )
+    )
+
+    chartable = [e for e in result.frontier if e.analytic_loss_probability > 0]
+    if len(chartable) >= 2:
+        print()
+        print(
+            ascii_line_chart(
+                [e.annual_cost for e in chartable],
+                [e.analytic_loss_probability for e in chartable],
+                title="annual cost ($) vs screened P(loss, 50 yr), log y",
+                log_y=True,
+            )
+        )
+
+    best = recommend(result.frontier, budget=ANNUAL_BUDGET)
+    candidate = best.candidate
+    print()
+    print(
+        format_dict(
+            {
+                "medium": candidate.medium,
+                "replicas": candidate.replicas,
+                "audits per year": candidate.audits_per_year,
+                "placement": candidate.placement,
+                "annual cost ($)": best.annual_cost,
+                "screened P(loss, 50 yr)": best.analytic_loss_probability,
+                "simulated 95% CI": f"[{best.loss_low:.3g}, {best.loss_high:.3g}]",
+            },
+            title=f"recommended under ${ANNUAL_BUDGET:,.0f}/yr",
+        )
+    )
+    print(
+        "\nThe frontier retells Section 6 in dollars: multi-site placement and\n"
+        "frequent audits are nearly free and dominate everything they touch,\n"
+        "while enterprise drives buy little that consumer replicas plus\n"
+        "independence do not already provide."
+    )
+
+
+if __name__ == "__main__":
+    main()

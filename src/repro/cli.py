@@ -23,17 +23,28 @@ the workflows the examples and benchmarks use:
     the vectorized batch backend (``--backend batch``, the default).
     ``--target-relative-error`` enables adaptive sampling: the run
     keeps extending until the confidence interval converges.
+``optimize``
+    Budget-constrained planner: search a design space (medium,
+    replication, audit rate, placement) for the cost–reliability
+    Pareto frontier and recommend a configuration for a budget
+    (``--budget``) and/or a loss-probability target (``--target-loss``).
 
-All times are entered in hours, consistent with the library.
+The ``mttdl``, ``simulate``, ``replication``, and ``optimize``
+sub-commands accept ``--json`` for machine-readable output.  All times
+are entered in hours, consistent with the library.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import math
 import sys
-from typing import List, Optional, Sequence
+import warnings
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.compare import compare_models
+from repro.analysis.plotting import ascii_line_chart
 from repro.analysis.sweep import sweep_audit_rate, sweep_replication
 from repro.analysis.tables import format_dict, format_scenario_table, format_sweep, format_table
 from repro.core.mttdl import mirrored_mttdl
@@ -41,7 +52,15 @@ from repro.core.parameters import FaultModel
 from repro.core.probability import probability_of_loss
 from repro.core.scenarios import paper_scenarios
 from repro.core.units import HOURS_PER_YEAR, years_to_hours
+from repro.optimize import (
+    DesignSpace,
+    EvaluationSettings,
+    optimize,
+    recommend,
+)
+from repro.optimize.space import PLACEMENTS
 from repro.simulation.monte_carlo import (
+    HighCensoringWarning,
     estimate_loss_probability,
     estimate_mttdl,
 )
@@ -74,6 +93,11 @@ def _model_from_args(args: argparse.Namespace) -> FaultModel:
     )
 
 
+def _finite_or_none(value: float) -> Optional[float]:
+    """Strict-JSON stand-in for infinities (e.g. a lossless MTTDL run)."""
+    return value if math.isfinite(value) else None
+
+
 def _cmd_scenarios(_args: argparse.Namespace) -> str:
     return format_scenario_table(paper_scenarios())
 
@@ -82,13 +106,24 @@ def _cmd_mttdl(args: argparse.Namespace) -> str:
     model = _model_from_args(args)
     mttdl = mirrored_mttdl(model)
     mission_hours = years_to_hours(args.mission_years)
+    loss = probability_of_loss(mttdl, mission_hours)
+    if args.json:
+        return json.dumps(
+            {
+                "command": "mttdl",
+                "parameters": model.as_dict(),
+                "mttdl_hours": _finite_or_none(mttdl),
+                "mttdl_years": _finite_or_none(mttdl / HOURS_PER_YEAR),
+                "mission_years": args.mission_years,
+                "loss_probability": loss,
+            },
+            indent=2,
+        )
     return format_dict(
         {
             "MTTDL (hours)": mttdl,
             "MTTDL (years)": mttdl / HOURS_PER_YEAR,
-            f"P(loss in {args.mission_years:g} years)": probability_of_loss(
-                mttdl, mission_hours
-            ),
+            f"P(loss in {args.mission_years:g} years)": loss,
         },
         title="mirrored-pair reliability",
     )
@@ -108,6 +143,20 @@ def _cmd_replication(args: argparse.Namespace) -> str:
         max_replicas=args.max_replicas,
         correlation_factors=[float(alpha) for alpha in args.alphas],
     )
+    if args.json:
+        return json.dumps(
+            {
+                "command": "replication",
+                "mean_time_to_fault_hours": args.mv,
+                "mean_repair_time_hours": args.mrv,
+                "replicas": list(range(1, args.max_replicas + 1)),
+                "mttdl_years_by_alpha": {
+                    f"{alpha:g}": list(results[alpha].metric("mttdl_years"))
+                    for alpha in results
+                },
+            },
+            indent=2,
+        )
     headers = ["replicas"] + [f"alpha={alpha:g} (yr)" for alpha in results]
     rows = []
     for index in range(args.max_replicas):
@@ -120,18 +169,45 @@ def _cmd_replication(args: argparse.Namespace) -> str:
 
 def _cmd_simulate(args: argparse.Namespace) -> str:
     model = _model_from_args(args)
+    # Record HighCensoringWarning instead of letting it fall through to
+    # stderr's default one-shot warning machinery, so the CLI can report
+    # it next to the numbers it qualifies (and in the JSON payload).
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always", HighCensoringWarning)
+        if args.metric == "mttdl":
+            estimate = estimate_mttdl(
+                model,
+                trials=args.trials,
+                seed=args.seed,
+                max_time=args.max_time,
+                replicas=args.replicas,
+                audits_per_year=args.audits_per_year,
+                backend=args.backend,
+                target_relative_error=args.target_relative_error,
+            )
+        else:
+            estimate = estimate_loss_probability(
+                model,
+                mission_time=years_to_hours(args.mission_years),
+                trials=args.trials,
+                seed=args.seed,
+                replicas=args.replicas,
+                audits_per_year=args.audits_per_year,
+                backend=args.backend,
+                target_relative_error=args.target_relative_error,
+            )
+    notes = []
+    for entry in caught:
+        if issubclass(entry.category, HighCensoringWarning):
+            notes.append(str(entry.message))
+        else:
+            # Unrelated warnings (numpy runtime warnings, deprecations)
+            # keep flowing through the normal machinery.
+            warnings.warn_explicit(
+                entry.message, entry.category, entry.filename, entry.lineno
+            )
+    low, high = estimate.confidence_interval()
     if args.metric == "mttdl":
-        estimate = estimate_mttdl(
-            model,
-            trials=args.trials,
-            seed=args.seed,
-            max_time=args.max_time,
-            replicas=args.replicas,
-            audits_per_year=args.audits_per_year,
-            backend=args.backend,
-            target_relative_error=args.target_relative_error,
-        )
-        low, high = estimate.confidence_interval()
         values = {
             "MTTDL (hours)": estimate.mean,
             "MTTDL (years)": estimate.mean / HOURS_PER_YEAR,
@@ -143,32 +219,169 @@ def _cmd_simulate(args: argparse.Namespace) -> str:
         }
         title = f"simulated MTTDL ({args.backend} backend)"
     else:
-        estimate = estimate_loss_probability(
-            model,
-            mission_time=years_to_hours(args.mission_years),
-            trials=args.trials,
-            seed=args.seed,
-            replicas=args.replicas,
-            audits_per_year=args.audits_per_year,
-            backend=args.backend,
-            target_relative_error=args.target_relative_error,
-        )
-        low, high = estimate.confidence_interval()
         values = {
             f"P(loss in {args.mission_years:g} years)": estimate.mean,
             "std error": estimate.std_error,
             "95% CI low": low,
             "95% CI high": high,
             "trials": estimate.trials,
+            "censored": estimate.censored,
         }
         title = f"simulated loss probability ({args.backend} backend)"
-    return format_dict(values, title=title)
+    if args.json:
+        return json.dumps(
+            {
+                "command": "simulate",
+                "metric": args.metric,
+                "backend": args.backend,
+                "parameters": model.as_dict(),
+                "replicas": args.replicas,
+                "mean": _finite_or_none(estimate.mean),
+                "std_error": _finite_or_none(estimate.std_error),
+                "ci_low": _finite_or_none(low),
+                "ci_high": _finite_or_none(high),
+                "trials": estimate.trials,
+                "censored": estimate.censored,
+                "losses": estimate.losses,
+                "warnings": notes,
+            },
+            indent=2,
+        )
+    output = format_dict(values, title=title)
+    for note in notes:
+        output += f"\nwarning: {note}"
+    return output
 
 
 def _cmd_validate(args: argparse.Namespace) -> str:
     model = _model_from_args(args)
     comparison = compare_models(model)
     return format_dict(comparison.in_years(), title="MTTDL (years) by method")
+
+
+def _frontier_rows(frontier) -> List[List[object]]:
+    rows: List[List[object]] = []
+    for evaluation in frontier:
+        candidate = evaluation.candidate
+        rows.append(
+            [
+                candidate.medium,
+                candidate.replicas,
+                candidate.audits_per_year,
+                candidate.placement,
+                evaluation.annual_cost,
+                evaluation.analytic_loss_probability,
+                evaluation.loss_probability,
+                evaluation.loss_low,
+                evaluation.loss_high,
+            ]
+        )
+    return rows
+
+
+def _cmd_optimize(args: argparse.Namespace) -> str:
+    if args.budget is None and args.target_loss is None:
+        raise ValueError("provide --budget and/or --target-loss")
+    try:
+        space = DesignSpace(
+            dataset_tb=args.dataset_tb,
+            media=tuple(args.media),
+            replica_counts=tuple(args.replicas),
+            audit_rates=tuple(float(rate) for rate in args.audit_rates),
+            placements=tuple(args.placements),
+            site_cost_per_year=args.site_cost,
+        )
+    except KeyError as error:
+        # Catalog lookups raise KeyError with a message listing the
+        # known identifiers; surface it as a user-input error.
+        raise ValueError(error.args[0]) from error
+    settings = EvaluationSettings(
+        mission_years=args.mission_years,
+        trials=args.trials,
+        seed=args.seed,
+    )
+    result = optimize(
+        space,
+        settings,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        slack=args.slack,
+    )
+    recommended = recommend(
+        result.frontier, budget=args.budget, target_loss=args.target_loss
+    )
+
+    if args.json:
+        return json.dumps(
+            {
+                "command": "optimize",
+                "space": space.as_dict(),
+                "settings": settings.as_dict(),
+                "budget": args.budget,
+                "target_loss": args.target_loss,
+                "summary": result.summary(),
+                "frontier": [e.as_dict() for e in result.frontier],
+                "recommended": recommended.as_dict(),
+            },
+            indent=2,
+        )
+
+    mission = f"{args.mission_years:g} yr"
+    table = format_table(
+        [
+            "medium",
+            "replicas",
+            "audits/yr",
+            "placement",
+            "cost ($/yr)",
+            f"screen P(loss, {mission})",
+            f"sim P(loss, {mission})",
+            "95% CI low",
+            "95% CI high",
+        ],
+        _frontier_rows(result.frontier),
+        title="cost-reliability Pareto frontier",
+    )
+    parts = [table]
+    # The log-scale chart can only show points with a non-zero screened
+    # loss; a degenerate (rate-zero) candidate is still in the table.
+    chartable = [e for e in result.frontier if e.analytic_loss_probability > 0]
+    if len(chartable) >= 2:
+        parts.append(
+            ascii_line_chart(
+                [e.annual_cost for e in chartable],
+                [e.analytic_loss_probability for e in chartable],
+                title=f"frontier: annual cost ($) vs screened P(loss, {mission}), log y",
+                log_y=True,
+            )
+        )
+    candidate = recommended.candidate
+    recommendation = {
+        "medium": candidate.medium,
+        "replicas": candidate.replicas,
+        "audits per year": candidate.audits_per_year,
+        "placement": candidate.placement,
+        "annual cost ($)": recommended.annual_cost,
+        f"screened P(loss, {mission})": recommended.analytic_loss_probability,
+        f"simulated P(loss, {mission})": recommended.loss_probability,
+        "95% CI": f"[{recommended.loss_low:.3g}, {recommended.loss_high:.3g}]",
+        "agrees with screen": bool(recommended.agrees_with_screen),
+    }
+    parts.append(format_dict(recommendation, title="recommended configuration"))
+    summary = result.summary()
+    parts.append(
+        format_dict(
+            {
+                "candidates": summary["candidates"],
+                "pruned by screen": summary["pruned_by_screen"],
+                "refined by simulation": summary["refined"],
+                "new evaluations": summary["new_evaluations"],
+                "cache hits": summary["cache_hits"],
+            },
+            title="search effort",
+        )
+    )
+    return "\n\n".join(parts)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -191,6 +404,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_model_arguments(mttdl)
     mttdl.add_argument("--mission-years", type=float, default=50.0,
                        help="mission length for the loss probability (default: 50)")
+    mttdl.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON instead of a table")
     mttdl.set_defaults(handler=_cmd_mttdl)
 
     sweep = subparsers.add_parser(
@@ -212,6 +427,8 @@ def build_parser() -> argparse.ArgumentParser:
                              help="largest replication degree to evaluate")
     replication.add_argument("--alphas", nargs="+", default=["1.0", "0.1", "0.01"],
                              help="correlation factors to evaluate")
+    replication.add_argument("--json", action="store_true",
+                             help="emit machine-readable JSON instead of a table")
     replication.set_defaults(handler=_cmd_replication)
 
     validate = subparsers.add_parser(
@@ -244,7 +461,57 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--target-relative-error", type=float, default=None,
                           help="adaptive sampling: extend until std error / mean "
                           "falls below this fraction")
+    simulate.add_argument("--json", action="store_true",
+                          help="emit machine-readable JSON instead of a table")
     simulate.set_defaults(handler=_cmd_simulate)
+
+    optimize_parser = subparsers.add_parser(
+        "optimize",
+        help="search a design space for the cost-reliability Pareto frontier",
+    )
+    optimize_parser.add_argument("--budget", type=float, default=None,
+                                 help="annual budget in dollars; recommends the most "
+                                 "reliable frontier design that fits")
+    optimize_parser.add_argument("--target-loss", type=float, default=None,
+                                 help="mission loss-probability target; recommends "
+                                 "the cheapest frontier design whose loss CI upper "
+                                 "bound meets it")
+    optimize_parser.add_argument("--dataset-tb", type=float, default=10.0,
+                                 help="collection size in terabytes (default: 10)")
+    optimize_parser.add_argument("--mission-years", type=float, default=50.0,
+                                 help="mission length in years (default: 50)")
+    optimize_parser.add_argument("--media", nargs="+",
+                                 default=["drive:barracuda", "drive:cheetah", "media:tape"],
+                                 help="medium identifiers (drive:<id> or media:<id>)")
+    optimize_parser.add_argument("--replicas", nargs="+", type=int, default=[2, 3, 4],
+                                 help="replication degrees to consider (default: 2 3 4)")
+    optimize_parser.add_argument("--audit-rates", nargs="+",
+                                 default=["0", "1", "12", "52"],
+                                 help="audit rates (per replica per year) to consider")
+    optimize_parser.add_argument("--placements", nargs="+", default=list(PLACEMENTS),
+                                 choices=list(PLACEMENTS),
+                                 help="placement styles to consider (default: both)")
+    optimize_parser.add_argument("--site-cost", type=float, default=0.0,
+                                 help="annual cost per additional independent site "
+                                 "(default: 0)")
+    optimize_parser.add_argument("--trials", type=int, default=1000,
+                                 help="Monte-Carlo trials per refined candidate "
+                                 "(default: 1000)")
+    optimize_parser.add_argument("--seed", type=int, default=0,
+                                 help="root random seed (default: 0)")
+    optimize_parser.add_argument("--jobs", type=int, default=1,
+                                 help="worker processes for the refinement stage "
+                                 "(default: 1, serial)")
+    optimize_parser.add_argument("--slack", type=float, default=4.0,
+                                 help="screening slack: prune a candidate when a "
+                                 "no-more-expensive one screens this many times "
+                                 "better (default: 4)")
+    optimize_parser.add_argument("--cache-dir", default=None,
+                                 help="directory for the content-hash result cache "
+                                 "(default: no cache)")
+    optimize_parser.add_argument("--json", action="store_true",
+                                 help="emit machine-readable JSON instead of a table")
+    optimize_parser.set_defaults(handler=_cmd_optimize)
 
     return parser
 

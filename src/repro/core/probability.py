@@ -25,7 +25,9 @@ def exponential_cdf(t: float, mean_time: float) -> float:
         raise ValueError(f"mean_time must be positive, got {mean_time!r}")
     if t < 0:
         raise ValueError(f"t must be non-negative, got {t!r}")
-    return 1.0 - math.exp(-t / mean_time)
+    # expm1 keeps precision when t << mean_time, where 1 - exp(-x)
+    # underflows to 0 long before the probability actually vanishes.
+    return -math.expm1(-t / mean_time)
 
 
 def exponential_survival(t: float, mean_time: float) -> float:

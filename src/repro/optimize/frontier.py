@@ -1,0 +1,103 @@
+"""Pareto-frontier extraction and budget/target recommendation queries.
+
+The planner's deliverable is the cost–reliability Pareto frontier: the
+set of designs for which no cheaper design is also statistically more
+reliable.  Dominance is *CI-aware* — a design only dominates another on
+the loss axis when its upper confidence bound sits below the other's
+lower bound, so two designs whose Monte-Carlo intervals overlap are
+both kept and the frontier never over-claims resolution the refinement
+does not have.  Screen-only evaluations degenerate to point intervals
+and reduce to classic Pareto dominance.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.optimize.evaluate import CandidateEvaluation
+
+
+def dominates(a: CandidateEvaluation, b: CandidateEvaluation) -> bool:
+    """Whether ``a`` dominates ``b`` with CI-aware loss comparison.
+
+    ``a`` dominates when it costs no more, its loss upper bound does not
+    exceed ``b``'s lower bound, and at least one of the two comparisons
+    is strict.  Overlapping confidence intervals mean the refinement
+    cannot tell the designs apart, so neither dominates on loss.
+    """
+    if a.annual_cost > b.annual_cost:
+        return False
+    if a.loss_high > b.loss_low:
+        return False
+    return a.annual_cost < b.annual_cost or a.loss_high < b.loss_low
+
+
+def pareto_frontier(
+    evaluations: Iterable[CandidateEvaluation],
+) -> List[CandidateEvaluation]:
+    """Non-dominated evaluations, ordered by increasing annual cost."""
+    pool = list(evaluations)
+    frontier = [
+        evaluation
+        for evaluation in pool
+        if not any(
+            dominates(other, evaluation)
+            for other in pool
+            if other is not evaluation
+        )
+    ]
+    return sorted(frontier, key=lambda e: (e.annual_cost, e.loss_probability))
+
+
+def recommend(
+    frontier: Iterable[CandidateEvaluation],
+    budget: Optional[float] = None,
+    target_loss: Optional[float] = None,
+) -> CandidateEvaluation:
+    """Pick the frontier design answering a budget or reliability query.
+
+    With ``budget``: the most reliable design whose annual cost fits the
+    budget.  With ``target_loss``: the cheapest design whose loss upper
+    confidence bound meets the target — the point estimate alone would
+    let a zero-loss refinement "meet" targets far below what its trial
+    count can actually resolve.  With both: the most reliable design
+    satisfying both constraints.  Ties on the (possibly zero-loss)
+    simulated estimate break toward the better analytic screen, then the
+    lower cost.
+
+    Raises:
+        ValueError: when neither constraint is given or no frontier
+            design satisfies the constraints.
+    """
+    if budget is None and target_loss is None:
+        raise ValueError("provide a budget, a target loss probability, or both")
+    feasible = list(frontier)
+    if not feasible:
+        raise ValueError("the frontier is empty")
+    if budget is not None:
+        feasible = [e for e in feasible if e.annual_cost <= budget]
+        if not feasible:
+            raise ValueError(
+                f"no design fits the budget of ${budget:,.2f}/year; the "
+                "cheapest frontier design must be affordable to recommend one"
+            )
+    if target_loss is not None:
+        within = [e for e in feasible if e.loss_high <= target_loss]
+        if not within:
+            raise ValueError(
+                f"no design within the constraints demonstrably reaches a "
+                f"loss probability of {target_loss:g} (the confidence bound "
+                "must meet the target; tighten it with more trials)"
+            )
+        feasible = within
+    if budget is None:
+        # Pure reliability target: the cheapest qualifying design.
+        return min(feasible, key=lambda e: (e.annual_cost, e.loss_probability))
+    return min(
+        feasible,
+        key=lambda e: (
+            e.loss_probability,
+            e.analytic_loss_probability,
+            e.annual_cost,
+        ),
+    )

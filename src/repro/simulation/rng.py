@@ -31,6 +31,7 @@ event-driven per-trial streams either.
 
 from __future__ import annotations
 
+import hashlib
 import zlib
 from typing import Dict, Tuple
 
@@ -118,6 +119,29 @@ class RandomStreams:
         return RandomStreams(
             seed=self._seed, _spawn_key=self._spawn_key + (offset,)
         )
+
+
+def spawn_seed(seed: int, name: str) -> int:
+    """Deterministic child seed for a named unit of work.
+
+    Derives the child through the same :class:`numpy.random.SeedSequence`
+    spawn-key tree as :class:`RandomStreams` (entropy = root seed, spawn
+    key = CRC-32 digest of the name), so callers that need a plain
+    integer seed per work item — e.g. the optimizer's per-candidate
+    Monte-Carlo refinements — get seeds that are independent of
+    evaluation order.  The name enters the entropy as a full SHA-256
+    digest (not a 32-bit key) and the full 128-bit generated state is
+    returned, so collisions between distinct ``(seed, name)`` pairs are
+    negligible.
+    """
+    if seed < 0:
+        raise ValueError("seed must be non-negative")
+    digest = int.from_bytes(
+        hashlib.sha256(name.encode("utf-8")).digest(), "little"
+    )
+    sequence = np.random.SeedSequence(entropy=(seed, digest))
+    words = sequence.generate_state(4, np.uint32)
+    return int.from_bytes(words.tobytes(), "little")
 
 
 def batch_generator(seed: int, chunk: int = 0) -> np.random.Generator:

@@ -96,3 +96,32 @@ class TestSweepAndOptimum:
     def test_empty_rates_raises(self):
         with pytest.raises(ValueError):
             optimal_audit_rate(model(), [])
+
+
+class TestOptimalRateShape:
+    """Section 6.6: auditing is monotone when free of wear, and has an
+    interior optimum once each pass costs the media something."""
+
+    DENSE_RATES = [float(rate) for rate in range(1, 201, 2)]
+
+    def test_zero_wear_is_monotone_in_the_audit_rate(self):
+        results = audit_rate_sweep(model(), self.DENSE_RATES, wear_per_audit=0.0)
+        mttdls = [result.mttdl_hours for result in results]
+        assert all(b >= a for a, b in zip(mttdls, mttdls[1:]))
+        best = optimal_audit_rate(model(), self.DENSE_RATES, wear_per_audit=0.0)
+        assert best.audits_per_year == self.DENSE_RATES[-1]
+
+    def test_nonzero_wear_gives_a_strictly_interior_optimum(self):
+        results = audit_rate_sweep(model(), self.DENSE_RATES, wear_per_audit=0.01)
+        mttdls = [result.mttdl_hours for result in results]
+        index = mttdls.index(max(mttdls))
+        # Strictly interior: the optimum is neither endpoint, and both
+        # neighbours are genuinely worse (a peak, not a plateau edge).
+        assert 0 < index < len(self.DENSE_RATES) - 1
+        assert mttdls[index] > mttdls[index - 1]
+        assert mttdls[index] > mttdls[index + 1]
+
+    def test_heavier_wear_moves_the_optimum_down(self):
+        gentle = optimal_audit_rate(model(), self.DENSE_RATES, wear_per_audit=0.005)
+        harsh = optimal_audit_rate(model(), self.DENSE_RATES, wear_per_audit=0.05)
+        assert harsh.audits_per_year < gentle.audits_per_year

@@ -1,0 +1,94 @@
+"""Cross-validation: the planner must agree with the Section 6 analysis.
+
+``core/strategies.py`` ranks the paper's reliability levers at an
+operating point; the planner searches a concrete design space.  Both
+views must tell the paper's story: at the Cheetah operating point,
+detection latency (audit more), automated repair, and independence
+dominate — so the planner's recommendation must audit at the highest
+rate on offer and place replicas at independent sites, and the strategy
+ranking must put those levers ahead of better hardware.
+"""
+
+import pytest
+
+from repro.core.strategies import Strategy, rank_strategies
+from repro.optimize import (
+    DesignSpace,
+    EvaluationSettings,
+    optimize,
+    recommend,
+)
+
+SPACE = DesignSpace(
+    dataset_tb=10.0,
+    media=("drive:barracuda", "drive:cheetah"),
+    replica_counts=(2, 3),
+    audit_rates=(0.0, 1.0, 12.0, 52.0),
+    placements=("single", "multi"),
+)
+
+SETTINGS = EvaluationSettings(trials=400, seed=6)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return optimize(SPACE, SETTINGS)
+
+
+class TestStrategyRankingMatchesPaper:
+    def test_detection_and_independence_beat_better_hardware(
+        self, cheetah_correlated_model
+    ):
+        # At the scrubbed-but-correlated operating point, halving the
+        # detection delay or doubling independence each buy ~2x MTTDL
+        # while doubling the hardware's visible-fault MTTF buys ~9% —
+        # the Section 6 conclusion the planner must reproduce in
+        # dollars.
+        ranked = rank_strategies(cheetah_correlated_model, factor=2.0)
+        by_strategy = {outcome.strategy: outcome for outcome in ranked}
+        hardware = by_strategy[Strategy.INCREASE_MV].improvement_ratio
+        assert by_strategy[Strategy.REDUCE_MDL].improvement_ratio > hardware
+        assert (
+            by_strategy[Strategy.INCREASE_INDEPENDENCE].improvement_ratio > hardware
+        )
+        # Replication is the one lever that beats both, and it is
+        # exactly the lever the planner prices: more replicas cost
+        # linearly more, which is why the frontier, not the ranking,
+        # decides how many to buy.
+        assert ranked[0].strategy is Strategy.INCREASE_REPLICATION
+
+
+class TestFrontierMatchesRanking:
+    def test_recommendation_audits_at_the_highest_rate(self, result):
+        best = recommend(result.frontier, budget=50_000.0)
+        assert best.candidate.audits_per_year == max(SPACE.audit_rates)
+
+    def test_recommendation_places_replicas_independently(self, result):
+        best = recommend(result.frontier, budget=50_000.0)
+        assert best.candidate.placement == "multi"
+
+    def test_frontier_below_the_cheap_end_is_all_multi_site(self, result):
+        # Site diversity costs nothing in this space, so once the
+        # frontier leaves the cheapest corner every surviving design is
+        # multi-site: independence dominates at equal cost.
+        cheapest = result.frontier[0]
+        rest = result.frontier[1:]
+        assert rest
+        assert all(e.candidate.placement == "multi" for e in rest)
+
+    def test_unaudited_designs_never_get_recommended(self, result):
+        # Detection latency dominates: among refined designs, the
+        # recommendation never falls on an unaudited configuration.
+        best = recommend(result.frontier, budget=50_000.0)
+        assert best.candidate.audits_per_year > 0
+
+    def test_consumer_drives_with_independence_beat_enterprise(self, result):
+        # Section 6.1's conclusion in planner form: the recommended
+        # design uses consumer drives, not the 14x-pricier enterprise
+        # option, because independence + auditing buys more per dollar.
+        best = recommend(result.frontier, budget=50_000.0)
+        assert best.candidate.medium == "drive:barracuda"
+
+    def test_recommended_simulation_agrees_with_screen(self, result):
+        best = recommend(result.frontier, budget=50_000.0)
+        assert best.agrees_with_screen is True

@@ -1,0 +1,192 @@
+"""Tests for the multi-fidelity candidate evaluator."""
+
+import math
+
+import pytest
+
+from repro.core.mttdl import double_fault_rate
+from repro.optimize.evaluate import (
+    CandidateEvaluation,
+    EvaluationSettings,
+    refine,
+    screen,
+    screen_candidates,
+    screen_loss_rate,
+    screen_mttdl_hours,
+    survivors_for_refinement,
+)
+from repro.optimize.space import CandidateDesign
+
+
+def candidate(**overrides):
+    base = dict(
+        medium="drive:cheetah",
+        replicas=2,
+        audits_per_year=52.0,
+        placement="multi",
+        dataset_tb=10.0,
+    )
+    base.update(overrides)
+    return CandidateDesign(**base)
+
+
+def fake_evaluation(cost, loss, **candidate_overrides):
+    """Screen-only evaluation with hand-picked coordinates."""
+    return CandidateEvaluation(
+        candidate=candidate(**candidate_overrides),
+        annual_cost=cost,
+        analytic_mttdl_hours=1.0,
+        analytic_loss_probability=loss,
+        mission_years=50.0,
+    )
+
+
+class TestScreenFormula:
+    def test_mirrored_rate_is_twice_the_paper_convention(self, cheetah_scrubbed_model):
+        # The simulators open a window when EITHER replica faults; the
+        # paper's Eq. 7 counts one window owner.
+        assert screen_loss_rate(cheetah_scrubbed_model, 2) == pytest.approx(
+            2.0 * double_fault_rate(cheetah_scrubbed_model), rel=1e-9
+        )
+
+    def test_more_replicas_lose_less(self, cheetah_scrubbed_model):
+        rates = [screen_loss_rate(cheetah_scrubbed_model, r) for r in (2, 3, 4)]
+        assert rates[0] > rates[1] > rates[2]
+
+    def test_correlation_hurts(self, cheetah_scrubbed_model):
+        correlated = cheetah_scrubbed_model.with_correlation(0.01)
+        assert screen_loss_rate(correlated, 2) > screen_loss_rate(
+            cheetah_scrubbed_model, 2
+        )
+
+    def test_mttdl_inverts_rate(self, cheetah_scrubbed_model):
+        rate = screen_loss_rate(cheetah_scrubbed_model, 2)
+        assert screen_mttdl_hours(cheetah_scrubbed_model, 2) == pytest.approx(1.0 / rate)
+
+    def test_rejects_single_replica(self, cheetah_scrubbed_model):
+        with pytest.raises(ValueError):
+            screen_loss_rate(cheetah_scrubbed_model, 1)
+
+
+class TestScreen:
+    def test_screen_populates_cost_and_loss(self):
+        evaluation = screen(candidate(), EvaluationSettings())
+        assert evaluation.annual_cost > 0
+        assert 0 <= evaluation.analytic_loss_probability <= 1
+        assert not evaluation.refined
+        assert evaluation.agrees_with_screen is None
+
+    def test_more_audits_screen_safer(self):
+        settings = EvaluationSettings()
+        rare = screen(candidate(audits_per_year=1.0), settings)
+        frequent = screen(candidate(audits_per_year=52.0), settings)
+        assert frequent.analytic_loss_probability < rare.analytic_loss_probability
+
+    def test_multi_site_screens_safer_than_single(self):
+        settings = EvaluationSettings()
+        single = screen(candidate(placement="single"), settings)
+        multi = screen(candidate(placement="multi"), settings)
+        assert multi.analytic_loss_probability < single.analytic_loss_probability
+
+    def test_longer_missions_lose_more(self):
+        short = screen(candidate(), EvaluationSettings(mission_years=10.0))
+        long = screen(candidate(), EvaluationSettings(mission_years=100.0))
+        assert long.analytic_loss_probability > short.analytic_loss_probability
+
+    def test_dict_round_trip(self):
+        evaluation = screen(candidate(), EvaluationSettings())
+        assert CandidateEvaluation.from_dict(evaluation.as_dict()) == evaluation
+
+
+class TestRefine:
+    def test_refinement_is_deterministic(self):
+        settings = EvaluationSettings(trials=200, seed=3)
+        evaluation = screen(candidate(), settings)
+        first = refine(evaluation, settings)
+        second = refine(evaluation, settings)
+        assert first.simulated == second.simulated
+
+    def test_different_candidates_get_different_seeds(self):
+        settings = EvaluationSettings(trials=100, seed=3)
+        a = refine(screen(candidate(), settings), settings)
+        b = refine(screen(candidate(replicas=3), settings), settings)
+        assert a.simulated.seed != b.simulated.seed
+
+    def test_zero_losses_use_rule_of_three_upper_bound(self):
+        # Cheetah, weekly audits, 3 multi-site replicas: no losses in
+        # 200 trials, so the CI must widen to the rule-of-three bound.
+        settings = EvaluationSettings(trials=200, seed=3)
+        refined = refine(screen(candidate(replicas=3), settings), settings)
+        assert refined.simulated.losses == 0
+        assert refined.simulated.ci_high == pytest.approx(3.0 / 200)
+        assert refined.agrees_with_screen is True
+
+    def test_agreement_at_lossy_operating_point(self):
+        # The unscrubbed single-site pair loses data often enough for a
+        # substantive CI check: screen and simulation must tell the same
+        # story where the Monte-Carlo actually observes losses.
+        settings = EvaluationSettings(trials=2000, seed=5)
+        evaluation = screen(
+            candidate(medium="drive:barracuda", audits_per_year=52.0), settings
+        )
+        refined = refine(evaluation, settings)
+        assert refined.simulated.losses > 0
+        assert refined.agrees_with_screen is True
+
+    def test_dict_round_trip_with_refinement(self):
+        settings = EvaluationSettings(trials=100, seed=3)
+        refined = refine(screen(candidate(), settings), settings)
+        assert CandidateEvaluation.from_dict(refined.as_dict()) == refined
+
+
+class TestSurvivors:
+    def test_strictly_dominated_candidates_are_pruned(self):
+        cheap_good = fake_evaluation(100.0, 1e-6)
+        expensive_bad = fake_evaluation(200.0, 1e-3, replicas=3)
+        survivors = survivors_for_refinement([expensive_bad, cheap_good], slack=4.0)
+        assert survivors == [cheap_good]
+
+    def test_near_frontier_candidates_survive_within_slack(self):
+        cheap_good = fake_evaluation(100.0, 1e-6)
+        slightly_worse = fake_evaluation(200.0, 3e-6, replicas=3)
+        survivors = survivors_for_refinement([cheap_good, slightly_worse], slack=4.0)
+        assert slightly_worse in survivors
+
+    def test_slack_one_is_strict_pareto(self):
+        cheap = fake_evaluation(100.0, 1e-3)
+        better_but_pricier = fake_evaluation(200.0, 1e-4, replicas=3)
+        same_loss_pricier = fake_evaluation(300.0, 1e-3, replicas=4)
+        survivors = survivors_for_refinement(
+            [cheap, better_but_pricier, same_loss_pricier], slack=1.0
+        )
+        assert survivors == [cheap, better_but_pricier]
+
+    def test_survivors_sorted_by_cost(self):
+        evaluations = [
+            fake_evaluation(300.0, 1e-8, replicas=4),
+            fake_evaluation(100.0, 1e-2),
+            fake_evaluation(200.0, 1e-5, replicas=3),
+        ]
+        survivors = survivors_for_refinement(evaluations)
+        costs = [e.annual_cost for e in survivors]
+        assert costs == sorted(costs)
+
+    def test_cheapest_candidate_always_survives(self):
+        terrible_but_cheap = fake_evaluation(1.0, 1.0)
+        good = fake_evaluation(50.0, 1e-9, replicas=3)
+        survivors = survivors_for_refinement([good, terrible_but_cheap])
+        assert terrible_but_cheap in survivors
+
+    def test_rejects_slack_below_one(self):
+        with pytest.raises(ValueError):
+            survivors_for_refinement([], slack=0.5)
+
+
+class TestEvaluationSettings:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EvaluationSettings(mission_years=0.0)
+        with pytest.raises(ValueError):
+            EvaluationSettings(trials=0)
+        with pytest.raises(ValueError):
+            EvaluationSettings(seed=-1)

@@ -1,0 +1,152 @@
+"""Tests for CI-aware Pareto extraction and recommendation queries."""
+
+import pytest
+
+from repro.optimize.evaluate import CandidateEvaluation, SimulatedLoss
+from repro.optimize.frontier import dominates, pareto_frontier, recommend
+from repro.optimize.space import CandidateDesign
+
+
+def evaluation(cost, loss, ci=None, analytic=None, replicas=2, audits=12.0):
+    """Build an evaluation at chosen coordinates.
+
+    ``ci`` attaches a simulated refinement with that interval; without
+    it the evaluation is screen-only (a point on the loss axis).
+    """
+    candidate = CandidateDesign(
+        medium="drive:cheetah",
+        replicas=replicas,
+        audits_per_year=audits,
+        placement="multi",
+        dataset_tb=10.0,
+    )
+    simulated = None
+    if ci is not None:
+        low, high = ci
+        simulated = SimulatedLoss(
+            mean=loss,
+            std_error=0.0,
+            trials=1000,
+            losses=int(loss * 1000),
+            ci_low=low,
+            ci_high=high,
+            seed=0,
+        )
+    return CandidateEvaluation(
+        candidate=candidate,
+        annual_cost=cost,
+        analytic_mttdl_hours=1.0,
+        analytic_loss_probability=loss if analytic is None else analytic,
+        mission_years=50.0,
+        simulated=simulated,
+    )
+
+
+class TestDominance:
+    def test_cheaper_and_statistically_better_dominates(self):
+        a = evaluation(100.0, 0.001, ci=(0.0005, 0.002))
+        b = evaluation(200.0, 0.1, ci=(0.05, 0.2))
+        assert dominates(a, b)
+        assert not dominates(b, a)
+
+    def test_overlapping_intervals_do_not_dominate(self):
+        a = evaluation(100.0, 0.01, ci=(0.005, 0.02))
+        b = evaluation(200.0, 0.015, ci=(0.01, 0.03))
+        assert not dominates(a, b)
+
+    def test_equal_cost_needs_strictly_separated_loss(self):
+        a = evaluation(100.0, 0.001, ci=(0.0005, 0.002))
+        twin = evaluation(100.0, 0.001, ci=(0.0005, 0.002))
+        assert not dominates(a, twin)
+        better = evaluation(100.0, 0.0001, ci=(0.00005, 0.0002))
+        assert dominates(better, a)
+
+    def test_point_evaluations_use_classic_dominance(self):
+        a = evaluation(100.0, 0.001)
+        b = evaluation(200.0, 0.01)
+        assert dominates(a, b)
+
+
+class TestParetoFrontier:
+    def test_dominated_points_are_dropped(self):
+        good = evaluation(100.0, 0.001, ci=(0.0005, 0.002))
+        dominated = evaluation(200.0, 0.1, ci=(0.05, 0.2))
+        frontier = pareto_frontier([dominated, good])
+        assert frontier == [good]
+
+    def test_indistinguishable_points_are_both_kept(self):
+        a = evaluation(100.0, 0.01, ci=(0.005, 0.02))
+        b = evaluation(200.0, 0.008, ci=(0.004, 0.016))
+        assert set(
+            e.annual_cost for e in pareto_frontier([a, b])
+        ) == {100.0, 200.0}
+
+    def test_frontier_sorted_by_cost(self):
+        points = [
+            evaluation(300.0, 1e-6, ci=(0.0, 2e-6)),
+            evaluation(100.0, 1e-2, ci=(5e-3, 2e-2)),
+            evaluation(200.0, 1e-4, ci=(5e-5, 2e-4)),
+        ]
+        frontier = pareto_frontier(points)
+        assert [e.annual_cost for e in frontier] == [100.0, 200.0, 300.0]
+
+    def test_empty_input(self):
+        assert pareto_frontier([]) == []
+
+
+class TestRecommend:
+    def frontier(self):
+        return [
+            evaluation(100.0, 0.05, ci=(0.03, 0.08)),
+            evaluation(500.0, 0.001, ci=(0.0005, 0.002)),
+            evaluation(2000.0, 0.0, ci=(0.0, 0.003), analytic=1e-6, replicas=4),
+        ]
+
+    def test_budget_picks_most_reliable_affordable(self):
+        best = recommend(self.frontier(), budget=600.0)
+        assert best.annual_cost == 500.0
+
+    def test_generous_budget_picks_most_reliable(self):
+        assert recommend(self.frontier(), budget=1e6).annual_cost == 2000.0
+
+    def test_target_loss_picks_cheapest_meeting_target(self):
+        best = recommend(self.frontier(), target_loss=0.01)
+        assert best.annual_cost == 500.0
+
+    def test_target_loss_uses_the_ci_upper_bound(self):
+        # A zero-loss refinement only demonstrates its rule-of-three
+        # bound; a target below that bound must not be claimed as met.
+        zero_loss = evaluation(100.0, 0.0, ci=(0.0, 0.003))
+        with pytest.raises(ValueError, match="trials"):
+            recommend([zero_loss], target_loss=1e-6)
+        assert recommend([zero_loss], target_loss=0.003).annual_cost == 100.0
+
+    def test_budget_and_target_combine(self):
+        best = recommend(self.frontier(), budget=600.0, target_loss=0.01)
+        assert best.annual_cost == 500.0
+
+    def test_zero_loss_ties_break_by_analytic_screen(self):
+        tied_worse = evaluation(
+            100.0, 0.0, ci=(0.0, 0.003), analytic=1e-4
+        )
+        tied_better = evaluation(
+            200.0, 0.0, ci=(0.0, 0.003), analytic=1e-8, replicas=3
+        )
+        best = recommend([tied_worse, tied_better], budget=1000.0)
+        assert best.analytic_loss_probability == 1e-8
+
+    def test_budget_too_small_raises(self):
+        with pytest.raises(ValueError, match="budget"):
+            recommend(self.frontier(), budget=50.0)
+
+    def test_unreachable_target_raises(self):
+        with pytest.raises(ValueError, match="target|loss"):
+            recommend(self.frontier(), budget=200.0, target_loss=1e-9)
+
+    def test_no_constraints_raises(self):
+        with pytest.raises(ValueError):
+            recommend(self.frontier())
+
+    def test_empty_frontier_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            recommend([], budget=100.0)

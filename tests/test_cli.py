@@ -1,5 +1,7 @@
 """Tests for the repro-storage command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -45,6 +47,27 @@ class TestParser:
         assert args.backend == "event"
         with pytest.raises(SystemExit):
             build_parser().parse_args(["simulate", "--backend", "gpu"])
+
+    def test_optimize_defaults(self):
+        args = build_parser().parse_args(["optimize", "--budget", "10000"])
+        assert args.budget == 10000.0
+        assert args.target_loss is None
+        assert args.replicas == [2, 3, 4]
+        assert args.jobs == 1
+        assert args.cache_dir is None
+        assert not args.json
+
+    def test_optimize_rejects_unknown_placement(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["optimize", "--budget", "1", "--placements", "orbital"]
+            )
+
+    def test_json_flags_parse(self):
+        for command in (["mttdl"], ["simulate"], ["replication"],
+                        ["optimize", "--budget", "1"]):
+            args = build_parser().parse_args(command + ["--json"])
+            assert args.json
 
 
 class TestCommands:
@@ -124,6 +147,69 @@ class TestCommands:
         assert main(["simulate", "--trials", "0"]) == 2
         assert "error" in capsys.readouterr().err
 
+    def test_simulate_loss_metric_reports_censored_trials(self, capsys):
+        assert main([
+            "simulate", "--mv", "500", "--ml", "100", "--mrv", "1",
+            "--mrl", "1", "--mdl", "5", "--metric", "loss",
+            "--trials", "100", "--mission-years", "1",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "censored" in output
+
+    def test_simulate_surfaces_high_censoring_warning(self, capsys):
+        # A horizon far below the MTTDL censors nearly every trial; the
+        # warning must reach the CLI output, not just the warning
+        # machinery.
+        assert main([
+            "simulate", "--mv", "500", "--ml", "100", "--mrv", "1",
+            "--mrl", "1", "--mdl", "5", "--trials", "100",
+            "--max-time", "150",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "warning:" in output
+        assert "censored" in output
+
+    def test_mttdl_json_output(self, capsys):
+        assert main(["mttdl", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "mttdl"
+        assert payload["mttdl_years"] == pytest.approx(5106.6, rel=1e-3)
+        assert payload["parameters"]["alpha"] == 1.0
+
+    def test_replication_json_output(self, capsys):
+        assert main([
+            "replication", "--max-replicas", "3", "--alphas", "1.0", "0.1",
+            "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["replicas"] == [1, 2, 3]
+        assert set(payload["mttdl_years_by_alpha"]) == {"1", "0.1"}
+        assert len(payload["mttdl_years_by_alpha"]["1"]) == 3
+
+    def test_simulate_json_output(self, capsys):
+        assert main([
+            "simulate", "--mv", "500", "--ml", "100", "--mrv", "1",
+            "--mrl", "1", "--mdl", "5", "--trials", "300",
+            "--max-time", "1e6", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "simulate"
+        assert payload["metric"] == "mttdl"
+        assert payload["trials"] == 300
+        assert payload["censored"] == 0
+        assert payload["warnings"] == []
+        assert payload["ci_low"] <= payload["mean"] <= payload["ci_high"]
+
+    def test_simulate_json_records_warnings(self, capsys):
+        assert main([
+            "simulate", "--mv", "500", "--ml", "100", "--mrv", "1",
+            "--mrl", "1", "--mdl", "5", "--trials", "100",
+            "--max-time", "150", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["warnings"]
+        assert "censored" in payload["warnings"][0]
+
     def test_scrubbing_story_visible_from_cli(self, capsys):
         # The headline comparison should be reproducible from the CLI:
         # no scrubbing (MDL = ML) vs the scrubbed default.
@@ -133,3 +219,70 @@ class TestCommands:
         scrubbed = capsys.readouterr().out
         assert "31.9" in unscrubbed or "32.0" in unscrubbed
         assert "5106" in scrubbed or "5107" in scrubbed
+
+
+class TestOptimizeCommand:
+    """End-to-end runs of the budget-constrained planner."""
+
+    GRID = [
+        "--media", "drive:barracuda", "drive:cheetah",
+        "--replicas", "2", "3",
+        "--audit-rates", "0", "12", "52",
+        "--trials", "300",
+    ]
+
+    def test_requires_budget_or_target(self, capsys):
+        assert main(["optimize"] + self.GRID) == 2
+        assert "target-loss" in capsys.readouterr().err
+
+    def test_text_output_has_frontier_and_recommendation(self, capsys):
+        assert main(["optimize", "--budget", "50000"] + self.GRID) == 0
+        output = capsys.readouterr().out
+        assert "cost-reliability Pareto frontier" in output
+        assert "recommended configuration" in output
+        assert "search effort" in output
+        assert "log y" in output  # the ASCII frontier chart rendered
+
+    def test_recommendation_respects_budget_and_agrees_with_screen(self, capsys):
+        assert main(["optimize", "--budget", "20000", "--json"] + self.GRID) == 0
+        payload = json.loads(capsys.readouterr().out)
+        recommended = payload["recommended"]
+        assert recommended["annual_cost"] <= 20000
+        assert recommended["agrees_with_screen"] is True
+        assert payload["summary"]["candidates"] == 24
+        assert payload["summary"]["pruned_by_screen"] >= 12
+        # Every refined frontier point carries a confidence interval.
+        for point in payload["frontier"]:
+            assert point["simulated"]["ci_low"] <= point["simulated"]["ci_high"]
+
+    def test_target_loss_query(self, capsys):
+        assert main(
+            ["optimize", "--target-loss", "0.01", "--json"] + self.GRID
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["recommended"]["simulated"]["mean"] <= 0.01
+
+    def test_infeasible_budget_is_an_error(self, capsys):
+        assert main(["optimize", "--budget", "1"] + self.GRID) == 2
+        assert "budget" in capsys.readouterr().err
+
+    def test_unknown_medium_is_an_error_not_a_traceback(self, capsys):
+        assert main(["optimize", "--budget", "1", "--media", "drive:floppy"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown medium" in err
+        assert "drive:barracuda" in err
+
+    def test_cached_rerun_evaluates_zero_new_candidates(self, capsys, tmp_path):
+        command = (
+            ["optimize", "--budget", "50000", "--json",
+             "--cache-dir", str(tmp_path)] + self.GRID
+        )
+        assert main(command) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["summary"]["new_evaluations"] == first["summary"]["refined"]
+        assert main(command) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["summary"]["new_evaluations"] == 0
+        assert second["summary"]["cache_hits"] == second["summary"]["refined"]
+        assert second["frontier"] == first["frontier"]
+        assert second["recommended"] == first["recommended"]
