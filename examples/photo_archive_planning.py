@@ -24,6 +24,7 @@ answer off a cost-reliability Pareto frontier instead, see
 """
 
 from repro.analysis.tables import format_dict, format_table
+from repro.simulation.monte_carlo import estimate_loss_probability
 from repro.audit.policies import audits_needed_for_target_mttdl, periodic_schedule, detection_latency
 from repro.audit.online_offline import audit_bandwidth_fraction
 from repro.core.mttdl import mirrored_mttdl
@@ -158,6 +159,59 @@ def audit_planning() -> None:
     )
 
 
+def verify_by_simulation() -> None:
+    """Check design B's closed-form promise with the simulator.
+
+    This is a *realistic* (uncompressed-time) operating point: drive
+    lifetimes in the hundreds of thousands of hours, a 50-year mission.
+    Standard Monte-Carlo censors essentially every trial here — a few
+    thousand trials typically observe zero losses, which is exactly the
+    regime PR 3's rare-event machinery exists for: ``method="is"``
+    accelerates second faults inside windows of vulnerability and
+    reweights by exact likelihood ratios, so the same trial budget
+    resolves the loss probability with a real confidence interval.
+    """
+    two_site_alpha = assess_independence(diversified_placement(2)).effective_alpha
+    model = FaultModel(
+        mean_time_to_visible=BARRACUDA_ST3200822A.mttf_hours,
+        mean_time_to_latent=BARRACUDA_ST3200822A.mttf_hours / 5.0,
+        mean_repair_visible=6.0,
+        mean_repair_latent=6.0,
+        mean_detect_latent=HOURS_PER_YEAR / 365.0 / 2.0,  # daily audits
+        correlation_factor=two_site_alpha,
+    )
+    mission = years_to_hours(MISSION_YEARS)
+    trials = 4000
+    standard = estimate_loss_probability(
+        model, mission_time=mission, trials=trials, seed=7,
+        backend="batch", method="standard",
+    )
+    weighted = estimate_loss_probability(
+        model, mission_time=mission, trials=trials, seed=7,
+        method="is", target_relative_error=0.1,
+    )
+    low, high = weighted.confidence_interval()
+    print(
+        "\n"
+        + format_dict(
+            {
+                f"standard losses in {trials} trials": standard.losses,
+                "standard estimate": standard.mean,
+                "IS estimate": weighted.mean,
+                "IS 95% CI": f"[{low:.3g}, {high:.3g}]",
+                "IS trials": weighted.trials,
+                "IS effective sample size": weighted.effective_sample_size,
+            },
+            title="design B, 50-year loss probability by simulation",
+        )
+    )
+    print(
+        "\nStandard Monte-Carlo sees (almost) no losses at this budget — the\n"
+        "operating point is simply too reliable — while importance sampling\n"
+        "pins the loss probability with a tight interval from the same budget."
+    )
+
+
 def cost_summary() -> None:
     """Annualised cost of the chosen design."""
     breakdown = replication_cost(
@@ -176,6 +230,7 @@ def main() -> None:
     target = durability_target()
     candidate_designs(target)
     audit_planning()
+    verify_by_simulation()
     cost_summary()
 
 

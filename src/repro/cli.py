@@ -23,6 +23,11 @@ the workflows the examples and benchmarks use:
     the vectorized batch backend (``--backend batch``, the default).
     ``--target-relative-error`` enables adaptive sampling: the run
     keeps extending until the confidence interval converges.
+    ``--method`` picks the estimator (``auto``, the default, runs a
+    standard pilot and switches to rare-event importance sampling or
+    multilevel splitting when almost every trial censors; ``standard``,
+    ``is`` and ``splitting`` force one); ``--bias`` overrides the
+    automatic failure-biasing factor.
 ``optimize``
     Budget-constrained planner: search a design space (medium,
     replication, audit rate, placement) for the cost–reliability
@@ -184,6 +189,8 @@ def _cmd_simulate(args: argparse.Namespace) -> str:
                 audits_per_year=args.audits_per_year,
                 backend=args.backend,
                 target_relative_error=args.target_relative_error,
+                method=args.method,
+                bias=args.bias,
             )
         else:
             estimate = estimate_loss_probability(
@@ -195,6 +202,8 @@ def _cmd_simulate(args: argparse.Namespace) -> str:
                 audits_per_year=args.audits_per_year,
                 backend=args.backend,
                 target_relative_error=args.target_relative_error,
+                method=args.method,
+                bias=args.bias,
             )
     notes = []
     for entry in caught:
@@ -228,12 +237,16 @@ def _cmd_simulate(args: argparse.Namespace) -> str:
             "censored": estimate.censored,
         }
         title = f"simulated loss probability ({args.backend} backend)"
+    values["method"] = estimate.method
+    if estimate.effective_sample_size is not None:
+        values["effective sample size"] = estimate.effective_sample_size
     if args.json:
         return json.dumps(
             {
                 "command": "simulate",
                 "metric": args.metric,
                 "backend": args.backend,
+                "method": estimate.method,
                 "parameters": model.as_dict(),
                 "replicas": args.replicas,
                 "mean": _finite_or_none(estimate.mean),
@@ -243,6 +256,11 @@ def _cmd_simulate(args: argparse.Namespace) -> str:
                 "trials": estimate.trials,
                 "censored": estimate.censored,
                 "losses": estimate.losses,
+                "effective_sample_size": _finite_or_none(
+                    estimate.effective_sample_size
+                )
+                if estimate.effective_sample_size is not None
+                else None,
                 "warnings": notes,
             },
             indent=2,
@@ -299,6 +317,7 @@ def _cmd_optimize(args: argparse.Namespace) -> str:
         mission_years=args.mission_years,
         trials=args.trials,
         seed=args.seed,
+        method=args.method,
     )
     result = optimize(
         space,
@@ -365,6 +384,9 @@ def _cmd_optimize(args: argparse.Namespace) -> str:
         f"screened P(loss, {mission})": recommended.analytic_loss_probability,
         f"simulated P(loss, {mission})": recommended.loss_probability,
         "95% CI": f"[{recommended.loss_low:.3g}, {recommended.loss_high:.3g}]",
+        "refined with": (
+            recommended.simulated.method if recommended.simulated else "screen"
+        ),
         "agrees with screen": bool(recommended.agrees_with_screen),
     }
     parts.append(format_dict(recommendation, title="recommended configuration"))
@@ -446,6 +468,16 @@ def build_parser() -> argparse.ArgumentParser:
                           help="simulation backend (default: batch, vectorized)")
     simulate.add_argument("--metric", choices=["mttdl", "loss"], default="mttdl",
                           help="quantity to estimate (default: mttdl)")
+    simulate.add_argument("--method",
+                          choices=["standard", "is", "splitting", "auto"],
+                          default="auto",
+                          help="estimator: auto (default) switches to "
+                          "rare-event acceleration when nearly every trial "
+                          "censors; is = failure-biased importance sampling; "
+                          "splitting = multilevel splitting (loss metric)")
+    simulate.add_argument("--bias", type=float, default=None,
+                          help="failure-biasing factor for importance "
+                          "sampling (default: chosen automatically)")
     simulate.add_argument("--trials", type=int, default=1000,
                           help="Monte-Carlo trials, per chunk when adaptive (default: 1000)")
     simulate.add_argument("--seed", type=int, default=0,
@@ -497,6 +529,13 @@ def build_parser() -> argparse.ArgumentParser:
     optimize_parser.add_argument("--trials", type=int, default=1000,
                                  help="Monte-Carlo trials per refined candidate "
                                  "(default: 1000)")
+    optimize_parser.add_argument("--method",
+                                 choices=["standard", "is", "auto"],
+                                 default="auto",
+                                 help="refinement estimator: auto (default) "
+                                 "switches high-reliability candidates to "
+                                 "importance sampling instead of returning "
+                                 "zero-loss rule-of-three bounds")
     optimize_parser.add_argument("--seed", type=int, default=0,
                                  help="root random seed (default: 0)")
     optimize_parser.add_argument("--jobs", type=int, default=1,

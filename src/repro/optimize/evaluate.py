@@ -15,10 +15,16 @@ Evaluation runs in two fidelities:
 2. **Monte-Carlo refinement** — the vectorized batch backend
    (:func:`~repro.simulation.monte_carlo.estimate_loss_probability`)
    with a deterministic per-candidate seed, attaching a confidence
-   interval to each screening survivor.  When a refinement observes no
-   losses at all, the interval's upper bound falls back to the
-   rule-of-three bound ``3 / trials`` so the interval stays meaningful
-   for CI-aware dominance and screen-agreement checks.
+   interval to each screening survivor.  High-reliability candidates
+   used to refine to zero-loss point estimates; with the default
+   ``method="auto"`` the refinement now switches to failure-biased
+   importance sampling (:mod:`repro.simulation.rare_event`) when the
+   standard pilot observes too few losses, so even deep-frontier
+   designs come back with real confidence intervals.  When a
+   refinement still observes no losses at all, the interval's upper
+   bound falls back to the rule-of-three bound ``3 / trials`` so the
+   interval stays meaningful for CI-aware dominance and
+   screen-agreement checks.
 """
 
 from __future__ import annotations
@@ -32,10 +38,16 @@ from repro.core.probability import probability_of_loss
 from repro.core.units import years_to_hours
 from repro.optimize.space import CandidateDesign
 from repro.simulation.monte_carlo import estimate_loss_probability
+from repro.simulation.rare_event import RULE_OF_THREE, analytic_loss_rate
 from repro.simulation.rng import spawn_seed
 
-#: 95% upper confidence bound on a proportion when zero events were seen.
-RULE_OF_THREE = 3.0
+#: Multiplicative slack applied to the simulated CI when judging screen
+#: agreement.  The screen is a first-order analytic approximation;
+#: before rare-event refinement its error hid inside wide Monte-Carlo
+#: intervals, but an importance-sampled CI can be tight enough to
+#: resolve it, and a screen that is off by a few tens of percent is
+#: working as designed, not disagreeing.
+SCREEN_AGREEMENT_TOLERANCE = 1.5
 
 #: Default multiplicative slack for screening survivors: a candidate is
 #: pruned when some no-more-expensive candidate's screened loss is at
@@ -57,6 +69,10 @@ class EvaluationSettings:
         backend: simulation backend for refinement.
         target_relative_error: optional adaptive-sampling target.
         max_trials: optional adaptive-sampling cap.
+        method: refinement estimator — ``"auto"`` (default) pilots a
+            standard run and switches to importance sampling when the
+            candidate is too reliable to observe losses, ``"standard"``
+            and ``"is"`` force one estimator.
     """
 
     mission_years: float = 50.0
@@ -65,6 +81,7 @@ class EvaluationSettings:
     backend: str = "batch"
     target_relative_error: Optional[float] = None
     max_trials: Optional[int] = None
+    method: str = "auto"
 
     def __post_init__(self) -> None:
         if self.mission_years <= 0:
@@ -73,6 +90,11 @@ class EvaluationSettings:
             raise ValueError("trials must be positive")
         if self.seed < 0:
             raise ValueError("seed must be non-negative")
+        if self.method not in ("standard", "is", "auto"):
+            raise ValueError(
+                "method must be 'standard', 'is' or 'auto', got "
+                f"{self.method!r}"
+            )
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -82,12 +104,19 @@ class EvaluationSettings:
             "backend": self.backend,
             "target_relative_error": self.target_relative_error,
             "max_trials": self.max_trials,
+            "method": self.method,
         }
 
 
 @dataclass(frozen=True)
 class SimulatedLoss:
-    """Monte-Carlo loss-probability refinement of one candidate."""
+    """Monte-Carlo loss-probability refinement of one candidate.
+
+    ``method`` records the estimator that actually ran (an ``"auto"``
+    refinement resolves to ``"standard"`` or ``"is"``);
+    ``effective_sample_size`` carries the Kish ESS of the importance
+    weights for weighted refinements, ``None`` otherwise.
+    """
 
     mean: float
     std_error: float
@@ -96,6 +125,8 @@ class SimulatedLoss:
     ci_low: float
     ci_high: float
     seed: int
+    method: str = "standard"
+    effective_sample_size: Optional[float] = None
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -106,10 +137,13 @@ class SimulatedLoss:
             "ci_low": self.ci_low,
             "ci_high": self.ci_high,
             "seed": self.seed,
+            "method": self.method,
+            "effective_sample_size": self.effective_sample_size,
         }
 
     @staticmethod
     def from_dict(payload: Dict[str, object]) -> "SimulatedLoss":
+        ess = payload.get("effective_sample_size")
         return SimulatedLoss(
             mean=float(payload["mean"]),
             std_error=float(payload["std_error"]),
@@ -118,6 +152,8 @@ class SimulatedLoss:
             ci_low=float(payload["ci_low"]),
             ci_high=float(payload["ci_high"]),
             seed=int(payload["seed"]),
+            method=str(payload.get("method", "standard")),
+            effective_sample_size=None if ess is None else float(ess),
         )
 
 
@@ -163,13 +199,20 @@ class CandidateEvaluation:
 
     @property
     def agrees_with_screen(self) -> Optional[bool]:
-        """Whether the simulated loss CI covers the analytic screen.
+        """Whether the analytic screen sits near the simulated loss CI.
 
-        ``None`` until the candidate has been refined.
+        The CI is widened by :data:`SCREEN_AGREEMENT_TOLERANCE` on both
+        sides before the check, so a tight importance-sampled interval
+        does not flag the screen's expected first-order approximation
+        error.  ``None`` until the candidate has been refined.
         """
         if self.simulated is None:
             return None
-        return self.loss_low <= self.analytic_loss_probability <= self.loss_high
+        return (
+            self.loss_low / SCREEN_AGREEMENT_TOLERANCE
+            <= self.analytic_loss_probability
+            <= self.loss_high * SCREEN_AGREEMENT_TOLERANCE
+        )
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -198,6 +241,10 @@ class CandidateEvaluation:
 def screen_loss_rate(model: FaultModel, replicas: int) -> float:
     """Data-loss rate (per hour) in simulator-consistent semantics.
 
+    Delegates to the single owner of the chained-window formula,
+    :func:`repro.simulation.rare_event.analytic_loss_rate`, which the
+    rare-event machinery also uses to pick failure-biasing factors.
+
     A window of vulnerability opens when any of the ``replicas`` copies
     faults (rate ``r λ_T`` per fault type); data is lost when every
     remaining copy faults inside it.  The ``j``-th successive fault has
@@ -213,19 +260,7 @@ def screen_loss_rate(model: FaultModel, replicas: int) -> float:
     """
     if replicas < 2:
         raise ValueError("replicas must be at least 2")
-    lam_any = model.total_fault_rate
-    alpha = model.correlation_factor
-    rate = 0.0
-    for lam_first, window in (
-        (model.visible_rate, model.visible_window),
-        (model.latent_rate, model.latent_window),
-    ):
-        product = 1.0
-        for j in range(1, replicas):
-            residual = window / 2.0 ** (j - 1)
-            product *= min(1.0, (replicas - j) * residual * lam_any / alpha)
-        rate += replicas * lam_first * product
-    return rate
+    return analytic_loss_rate(model, replicas)
 
 
 def screen_mttdl_hours(model: FaultModel, replicas: int) -> float:
@@ -270,7 +305,11 @@ def refine(
 
     The per-candidate seed is spawned deterministically from the root
     seed and the candidate's identity, so refinements are reproducible
-    regardless of evaluation order or parallelism.
+    regardless of evaluation order or parallelism.  With the default
+    ``method="auto"`` a candidate whose standard pilot censors to
+    (near-)zero losses is re-refined with failure-biased importance
+    sampling, so high-reliability designs get real confidence intervals
+    instead of rule-of-three upper bounds.
     """
     candidate = evaluation.candidate
     seed = spawn_seed(settings.seed, candidate.key())
@@ -284,6 +323,7 @@ def refine(
         backend=settings.backend,
         target_relative_error=settings.target_relative_error,
         max_trials=settings.max_trials,
+        method=settings.method,
     )
     low, high = estimate.confidence_interval()
     if estimate.losses == 0:
@@ -296,6 +336,8 @@ def refine(
         ci_low=low,
         ci_high=high,
         seed=seed,
+        method=estimate.method,
+        effective_sample_size=estimate.effective_sample_size,
     )
     return replace(evaluation, simulated=simulated)
 

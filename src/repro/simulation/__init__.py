@@ -17,6 +17,13 @@ the vectorized batch simulator (``backend="batch"``,
 FaultModel-derived systems in lock-step NumPy sweeps and also powers the
 adaptive-sampling mode (``target_relative_error=...``) of the
 estimators in :mod:`repro.simulation.monte_carlo`.
+
+For the paper's realistic high-reliability operating points — where
+plain Monte-Carlo censors nearly every trial — the estimators accept
+rare-event methods (``method="is" | "splitting" | "auto"``) built on
+:mod:`repro.simulation.rare_event`: failure-biased importance sampling
+with exact path-measure reweighting on the batch backend, and
+fixed-effort multilevel splitting on the event backend.
 """
 
 from repro.simulation.engine import SimulationEngine, EventHandle
@@ -55,7 +62,9 @@ from repro.simulation.repair import (
 )
 from repro.simulation.system import (
     ReplicatedStorageSystem,
+    ReplicaSnapshot,
     SystemConfig,
+    SystemSnapshot,
     RunResult,
     system_from_fault_model,
 )
@@ -69,6 +78,14 @@ from repro.simulation.monte_carlo import (
     estimate_mttdl,
     estimate_loss_probability,
     double_fault_combination_counts,
+)
+from repro.simulation.rare_event import (
+    WeightedLossTally,
+    analytic_loss_rate,
+    default_failure_bias,
+    effective_sample_size,
+    mttdl_from_loss_probability,
+    splitting_loss_probability,
 )
 from repro.simulation.lifetime import (
     loss_probability_curve,
@@ -103,7 +120,9 @@ __all__ = [
     "OperatorRepair",
     "OfflineMediaRepair",
     "ReplicatedStorageSystem",
+    "ReplicaSnapshot",
     "SystemConfig",
+    "SystemSnapshot",
     "RunResult",
     "system_from_fault_model",
     "BatchRunResult",
@@ -113,6 +132,12 @@ __all__ = [
     "estimate_mttdl",
     "estimate_loss_probability",
     "double_fault_combination_counts",
+    "WeightedLossTally",
+    "analytic_loss_rate",
+    "default_failure_bias",
+    "effective_sample_size",
+    "mttdl_from_loss_probability",
+    "splitting_loss_probability",
     "loss_probability_curve",
     "mission_summary",
 ]

@@ -1,4 +1,4 @@
-"""Vectorized batch Monte-Carlo backend.
+r"""Vectorized batch Monte-Carlo backend.
 
 Instead of running N independent :class:`SimulationEngine` event loops,
 this backend simulates N replicated systems *simultaneously* with NumPy
@@ -37,10 +37,43 @@ estimate-for-estimate.
 Custom :data:`~repro.simulation.monte_carlo.SystemFactory` systems
 (shared-fate shocks, Weibull hazards, stochastic repair policies) are
 not expressible here; use ``backend="event"`` for those.
+
+Importance sampling
+-------------------
+
+Passing ``bias=b`` (b > 1) switches the backend into *failure-biased
+importance sampling*: while a trial is degraded (at least one replica
+faulty), the surviving replicas' fault arrivals are drawn at ``b``
+times their true rate, so second faults land inside windows of
+vulnerability orders of magnitude more often.  First faults keep the
+true rate — only the short degraded sojourns are distorted, which is
+what keeps the weights tight.  Because repairs and latent detection are
+deterministic, the simulated process is a Markov jump process whose
+only randomness is the fault arrivals, so the Radon–Nikodym derivative
+of the true path measure with respect to the biased one factorises over
+the realized trajectory:
+
+.. math::
+
+    w \;=\; b^{-K} \exp\Bigl((b - 1) \int \Lambda(t)\,dt\Bigr),
+
+where ``K`` counts the faults that landed on an already-degraded trial
+and the integral runs over the trial's degraded sojourns with ``Λ(t)``
+the *true* degraded fault intensity (healthy replicas × total
+per-replica rate ÷ ``α``).  The exposure integral is accumulated
+sojourn by sojourn in the lock-step sweeps and returned per trial as
+``log_weight``; reweighting any path functional by ``exp(log_weight)``
+is exactly unbiased (``E_q[w · h(path)] = E_f[h(path)]``), and — unlike
+naive per-draw likelihood ratios, whose non-firing clocks have
+unbounded ratios and infinite variance for ``b >= 2`` — the weights
+only involve realized degraded sojourns, so a loss weight is
+essentially ``b^-(r-1)`` with a correction factor near one.  The
+weighted estimators live in :mod:`repro.simulation.rare_event`.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
@@ -79,6 +112,9 @@ class BatchRunResult:
         horizon: the censoring horizon the batch ran to (hours).
         sweeps: how many lock-step sweeps the batch needed (each sweep
             advances every live trial by one event).
+        log_weight: per-trial log-likelihood ratios when the batch ran
+            with failure biasing (``bias`` > 1); ``None`` for a plain
+            run, meaning every weight is exactly 1.
     """
 
     lost: np.ndarray
@@ -87,6 +123,7 @@ class BatchRunResult:
     final_fault_type: np.ndarray
     horizon: float
     sweeps: int
+    log_weight: Optional[np.ndarray] = None
 
     @property
     def trials(self) -> int:
@@ -105,23 +142,31 @@ class BatchRunResult:
         """Sum of per-trial observed times (loss or censoring times)."""
         return float(self.end_time.sum())
 
+    @property
+    def weights(self) -> np.ndarray:
+        """Per-trial importance weights (all ones for a plain run)."""
+        if self.log_weight is None:
+            return np.ones(self.trials)
+        return np.exp(self.log_weight)
+
     def combination_counts(self) -> Dict[Tuple[FaultType, FaultType], int]:
-        """Count losses by (first fault, final fault) combination."""
-        counts: Dict[Tuple[FaultType, FaultType], int] = {
-            (first, second): 0
-            for first in (FaultType.VISIBLE, FaultType.LATENT)
-            for second in (FaultType.VISIBLE, FaultType.LATENT)
+        """Count losses by (first fault, final fault) combination.
+
+        A single ``bincount`` over the packed code ``first * 3 + final``
+        replaces the four full-array mask passes the double loop over
+        fault types used to need (the codes are 1 or 2, so the packed
+        values 4, 5, 7, 8 are unique per combination).
+        """
+        packed = (
+            self.first_fault_type[self.lost].astype(np.int64) * 3
+            + self.final_fault_type[self.lost]
+        )
+        binned = np.bincount(packed, minlength=9)
+        return {
+            (first, final): int(binned[first_code * 3 + final_code])
+            for first_code, first in FAULT_TYPE_BY_CODE.items()
+            for final_code, final in FAULT_TYPE_BY_CODE.items()
         }
-        for first_code, first in FAULT_TYPE_BY_CODE.items():
-            for final_code, final in FAULT_TYPE_BY_CODE.items():
-                counts[(first, final)] = int(
-                    np.count_nonzero(
-                        self.lost
-                        & (self.first_fault_type == first_code)
-                        & (self.final_fault_type == final_code)
-                    )
-                )
-        return counts
 
 
 def simulate_batch(
@@ -132,6 +177,7 @@ def simulate_batch(
     replicas: int = 2,
     audits_per_year: Optional[float] = None,
     chunk: int = 0,
+    bias: Optional[float] = None,
 ) -> BatchRunResult:
     """Simulate ``trials`` replicated systems in lock-step to ``horizon``.
 
@@ -146,10 +192,15 @@ def simulate_batch(
         audits_per_year: overrides the model-derived audit interval.
         chunk: batch-extension index used by adaptive sampling; each
             chunk draws from an independent stream of the same seed.
+        bias: failure-biasing factor for importance sampling; while a
+            trial is degraded the surviving replicas' fault arrivals are
+            drawn at ``bias`` times their true rate and the result
+            carries per-trial ``log_weight``s.  ``None`` (or 1) runs the
+            plain, unweighted simulation.
 
     Raises:
-        ValueError: for non-positive ``trials`` / ``horizon`` or a
-            replication degree below 1.
+        ValueError: for non-positive ``trials`` / ``horizon`` / ``bias``
+            or a replication degree below 1.
     """
     if trials <= 0:
         raise ValueError("trials must be positive")
@@ -157,6 +208,8 @@ def simulate_batch(
         raise ValueError("horizon must be positive")
     if replicas < 1:
         raise ValueError("replicas must be at least 1")
+    if bias is not None and bias <= 0:
+        raise ValueError("bias must be positive")
 
     rng = batch_generator(seed, chunk)
     interval = audit_interval_for(model, audits_per_year)
@@ -166,6 +219,29 @@ def simulate_batch(
     repair_latent = model.mean_repair_latent
     alpha = model.correlation_factor
     correlated = alpha < 1.0
+
+    # Failure biasing: while a trial is degraded (>= 1 faulty replica),
+    # the surviving replicas' fault clocks are drawn at ``accel`` times
+    # their true (already alpha-corrected) rate; first faults keep the
+    # true rate, so only the short windows of vulnerability are
+    # distorted.  The path-measure log-likelihood ratio
+    #   log w = -K log(accel)
+    #           + (accel - 1) * integral of the true degraded fault
+    #             intensity over the trial's degraded sojourns,
+    # (K = faults suffered while already degraded) is accumulated
+    # sojourn by sojourn.
+    accel = 1.0 if bias is None else float(bias)
+    weighting = accel != 1.0
+    # Regime changes require resampling pending arrivals whenever the
+    # degraded-regime sampling rate differs from the base rate — for
+    # correlation, biasing, or both.
+    reschedule = correlated or weighting
+    degraded_scale = alpha / accel
+    inv_alpha = 1.0 / alpha if correlated else 1.0
+    total_rate = 1.0 / mean_visible + 1.0 / mean_latent
+    log_accel = math.log(accel) if weighting else 0.0
+    log_weight = np.zeros(trials) if weighting else None
+    last_event = np.zeros(trials) if weighting else None
 
     state = np.zeros((trials, replicas), dtype=np.int8)
     fault_time = np.full((trials, replicas), np.inf)
@@ -189,6 +265,24 @@ def simulate_batch(
         which = np.argmin(candidate, axis=1)
         event_time = candidate[np.arange(live.size), which]
 
+        if weighting:
+            # Exposure term of the likelihood ratio: between a trial's
+            # consecutive events its regime is constant, and sampling
+            # only differs from the truth during degraded sojourns,
+            # where the true intensity is healthy replicas x per-replica
+            # rate divided by alpha.
+            healthy_now = np.count_nonzero(state[live] == OK, axis=1)
+            intensity = np.where(
+                healthy_now < replicas,
+                healthy_now * total_rate * inv_alpha,
+                0.0,
+            )
+            segment_end = np.minimum(event_time, horizon)
+            log_weight[live] += (
+                (accel - 1.0) * intensity * (segment_end - last_event[live])
+            )
+            last_event[live] = segment_end
+
         # Trials whose next event falls past the horizon are censored.
         running = event_time < horizon
         live = live[running]
@@ -207,16 +301,17 @@ def simulate_batch(
             fault_time[rows, cols] = np.inf
             still_faulty = np.count_nonzero(state[rows] != OK, axis=1)
             # New arrivals for the recovered replica draw at the current
-            # regime's rate (divided by alpha while the trial stays
-            # degraded — the paper's non-compounding correlation).
-            scale = np.where(correlated & (still_faulty > 0), alpha, 1.0)
+            # regime's *sampling* rate (divided by alpha while the trial
+            # stays degraded — the paper's non-compounding correlation —
+            # and additionally accelerated by the failure bias there).
+            scale = np.where(still_faulty > 0, degraded_scale, 1.0)
             next_visible[rows, cols] = times + rng.exponential(
                 1.0, rows.size
             ) * (mean_visible * scale)
             next_latent[rows, cols] = times + rng.exponential(
                 1.0, rows.size
             ) * (mean_latent * scale)
-            if correlated:
+            if reschedule:
                 # Leaving the degraded regime: healthy replicas fall back
                 # to base-rate arrivals (memoryless, so resampling is
                 # distributionally exact — same as the event engine's
@@ -265,6 +360,12 @@ def simulate_batch(
             recovery[rows, cols] = completed
 
             faulty_now = np.count_nonzero(state[rows] != OK, axis=1)
+            if weighting:
+                # Jump term: a fault landing on an already-degraded trial
+                # fired from a clock sampled at ``accel`` times its true
+                # rate; first faults fired at the true rate.
+                second_or_later = rows[faulty_now >= 2]
+                log_weight[second_or_later] -= log_accel
             loss_mask = faulty_now == replicas
             if loss_mask.any():
                 l_rows = rows[loss_mask]
@@ -273,19 +374,20 @@ def simulate_batch(
                 final_type[l_rows] = fault_code[loss_mask]
                 oldest = np.argmin(fault_time[l_rows], axis=1)
                 first_type[l_rows] = state[l_rows, oldest]
-            if correlated:
+            if reschedule:
                 # Entering the degraded regime (0 -> 1 faulty replicas):
-                # healthy replicas' pending arrivals accelerate by 1/alpha.
+                # healthy replicas' pending arrivals accelerate by
+                # 1/alpha (correlation) and by the failure bias.
                 degraded = (faulty_now == 1) & ~loss_mask
                 if degraded.any():
                     d_rows = rows[degraded]
                     d_times = times[degraded]
                     healthy = state[d_rows] == OK
                     visible_draws = d_times[:, None] + rng.exponential(
-                        mean_visible * alpha, (d_rows.size, replicas)
+                        mean_visible * degraded_scale, (d_rows.size, replicas)
                     )
                     latent_draws = d_times[:, None] + rng.exponential(
-                        mean_latent * alpha, (d_rows.size, replicas)
+                        mean_latent * degraded_scale, (d_rows.size, replicas)
                     )
                     next_visible[d_rows] = np.where(
                         healthy, visible_draws, next_visible[d_rows]
@@ -303,4 +405,5 @@ def simulate_batch(
         final_fault_type=final_type,
         horizon=float(horizon),
         sweeps=sweeps,
+        log_weight=log_weight,
     )

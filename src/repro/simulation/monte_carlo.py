@@ -37,6 +37,35 @@ the MTTDL downward exactly when the system is most reliable).  A
 :class:`HighCensoringWarning` is emitted when more than 20% of trials
 are censored; with no observed losses at all the estimate is infinite
 and only meaningful as "no loss seen in ``total time`` of operation".
+
+Rare-event methods
+------------------
+
+At realistic archival operating points almost every trial censors and
+the standard estimators degenerate.  Both estimators therefore accept a
+``method``:
+
+* ``"standard"`` — plain Monte-Carlo as described above (the default).
+* ``"is"`` — failure-biased importance sampling on the batch machinery
+  (:mod:`repro.simulation.rare_event`): degraded-regime fault clocks
+  are accelerated and the trials reweighted by exact path-measure
+  likelihood ratios.  Requires a :class:`FaultModel`; the ``backend``
+  argument is ignored (IS always runs vectorized).
+* ``"splitting"`` — fixed-effort multilevel splitting on the
+  event-driven machinery, keyed on the number of simultaneously faulty
+  replicas; works with custom :data:`SystemFactory` systems.  Loss
+  probabilities only.
+* ``"auto"`` — run one standard pilot chunk; when it censors too
+  heavily to be informative (above the
+  :data:`CENSORED_WARNING_FRACTION` threshold for MTTDL, fewer than
+  :data:`AUTO_MIN_LOSSES` observed losses for loss probabilities),
+  discard it and switch to ``"is"`` (model-based runs) or
+  ``"splitting"`` (factory-based loss runs); otherwise keep extending
+  the standard run.
+
+Weighted estimates report a Kish effective sample size
+(``MonteCarloEstimate.effective_sample_size``); an ESS far below the
+observed loss count signals weight degeneracy.
 """
 
 from __future__ import annotations
@@ -65,6 +94,13 @@ CENSORED_WARNING_FRACTION = 0.2
 #: Default cap on adaptive sampling, as a multiple of the initial chunk.
 DEFAULT_ADAPTIVE_CHUNK_LIMIT = 64
 
+#: ``method="auto"``: a loss-probability pilot with fewer observed
+#: losses than this switches to a rare-event method (at 20 losses the
+#: standard binomial relative error is still ~22%).
+AUTO_MIN_LOSSES = 20
+
+_METHODS = ("standard", "is", "splitting", "auto")
+
 _UNSET = object()
 
 
@@ -91,6 +127,12 @@ class MonteCarloEstimate:
             :meth:`confidence_interval` (physical quantities like times
             and probabilities cannot be negative).
         clamp_hi: default upper clamp (1.0 for probabilities).
+        method: how the estimate was produced (``"standard"``, ``"is"``
+            or ``"splitting"`` — an ``"auto"`` run records what it
+            resolved to).
+        effective_sample_size: Kish effective sample size of the
+            importance weights behind a weighted estimate; ``None`` for
+            unweighted methods.
     """
 
     mean: float
@@ -99,6 +141,8 @@ class MonteCarloEstimate:
     censored: int = 0
     clamp_lo: Optional[float] = 0.0
     clamp_hi: Optional[float] = None
+    method: str = "standard"
+    effective_sample_size: Optional[float] = None
 
     def confidence_interval(
         self, z: float = 1.96, lo: object = _UNSET, hi: object = _UNSET
@@ -126,9 +170,15 @@ class MonteCarloEstimate:
 
     @property
     def relative_error(self) -> float:
-        """Standard error as a fraction of the mean (0 when mean is 0)."""
+        """Standard error as a fraction of the mean.
+
+        A zero mean (no observed losses) returns ``inf``, never 0: the
+        estimate carries no information about its own precision, and
+        reading it as "perfectly converged" would terminate adaptive
+        sampling the moment a rare-event run starts.
+        """
         if self.mean == 0:
-            return 0.0
+            return math.inf
         if not math.isfinite(self.mean):
             return math.inf
         return self.std_error / abs(self.mean)
@@ -157,6 +207,18 @@ def _check_backend(backend: str, factory: Optional[SystemFactory]) -> None:
         raise ValueError(
             "the batch backend simulates FaultModel-derived systems only; "
             "use backend='event' with a custom factory"
+        )
+
+
+def _check_method(method: str, factory: Optional[SystemFactory]) -> None:
+    if method not in _METHODS:
+        raise ValueError(
+            f"unknown method {method!r}; expected one of {_METHODS}"
+        )
+    if method == "is" and factory is not None:
+        raise ValueError(
+            "importance sampling runs on the batch machinery and needs a "
+            "FaultModel; use method='splitting' for custom factories"
         )
 
 
@@ -199,6 +261,47 @@ def _mttdl_estimate(
     )
 
 
+def _is_loss_tally(
+    model: FaultModel,
+    trials: int,
+    horizon: float,
+    seed: int,
+    replicas: int,
+    audits_per_year: Optional[float],
+    bias: Optional[float],
+    target_relative_error: Optional[float],
+    cap: int,
+):
+    """Run adaptive importance-sampled batch chunks into a tally."""
+    from repro.simulation import rare_event
+
+    if bias is None:
+        bias = rare_event.default_failure_bias(model, replicas, horizon)
+    tally = rare_event.WeightedLossTally()
+    chunk = 0
+    while tally.trials < cap:
+        if tally.trials and (
+            target_relative_error is None
+            or tally.relative_error <= target_relative_error
+        ):
+            break
+        chunk_trials = min(trials, cap - tally.trials) if tally.trials else trials
+        tally.add(
+            simulate_batch(
+                model,
+                trials=chunk_trials,
+                horizon=horizon,
+                seed=seed,
+                replicas=replicas,
+                audits_per_year=audits_per_year,
+                chunk=chunk,
+                bias=bias,
+            )
+        )
+        chunk += 1
+    return tally
+
+
 def estimate_mttdl(
     model: Optional[FaultModel] = None,
     trials: int = 200,
@@ -210,6 +313,8 @@ def estimate_mttdl(
     backend: str = "event",
     target_relative_error: Optional[float] = None,
     max_trials: Optional[int] = None,
+    method: str = "standard",
+    bias: Optional[float] = None,
 ) -> MonteCarloEstimate:
     """Estimate the MTTDL by simulating until data loss.
 
@@ -230,13 +335,33 @@ def estimate_mttdl(
     that fraction of the mean or ``max_trials`` (default 64 chunks) is
     reached.
 
+    ``method="is"`` (or an ``"auto"`` run whose pilot censors above the
+    warning threshold) estimates ``P(loss by max_time)`` with
+    failure-biased importance sampling and inverts the exponential loss
+    law — exact in the rare-event regime where the loss process is
+    regenerative — so high-reliability MTTDLs converge in thousands of
+    trials instead of censoring to death.  ``bias`` overrides the
+    automatic failure-biasing factor.  ``method="splitting"`` is not an
+    MTTDL method (it estimates mission loss probabilities); request it
+    via :func:`estimate_loss_probability`.
+
     Raises:
         ValueError: if neither a model nor a factory is given, trials is
-            not positive, or the backend/factory combination is invalid.
+            not positive, or the backend/factory/method combination is
+            invalid.
     """
     if trials <= 0:
         raise ValueError("trials must be positive")
     _check_backend(backend, factory)
+    _check_method(method, factory)
+    if method == "splitting":
+        raise ValueError(
+            "splitting estimates mission loss probabilities; use "
+            "estimate_loss_probability or method='is' for the MTTDL"
+        )
+    if method == "is" and model is None:
+        raise ValueError("method='is' needs a FaultModel")
+    custom_factory = factory
     if factory is None:
         if model is None:
             raise ValueError("either model or factory must be provided")
@@ -257,7 +382,17 @@ def estimate_mttdl(
     done = 0
     chunk = 0
     root = RandomStreams(seed=seed)
-    while True:
+    use_is = method == "is"
+    while not use_is and done < cap:
+        if done and (
+            target_relative_error is None
+            # The MLE's relative error is exactly 1 / sqrt(losses).
+            or (
+                losses > 0
+                and 1.0 / math.sqrt(losses) <= target_relative_error
+            )
+        ):
+            break
         # The final adaptive chunk is clamped so max_trials is a hard
         # cap, not "the last multiple of trials past the cap".
         chunk_trials = min(trials, cap - done) if done else trials
@@ -281,12 +416,106 @@ def estimate_mttdl(
                     losses += 1
         done += chunk_trials
         chunk += 1
-        if target_relative_error is None or done >= cap:
-            break
-        # The MLE's relative error is exactly 1 / sqrt(losses).
-        if losses > 0 and 1.0 / math.sqrt(losses) <= target_relative_error:
-            break
+        if (
+            method == "auto"
+            and chunk == 1
+            and model is not None
+            and custom_factory is None
+            and (done - losses) / done > CENSORED_WARNING_FRACTION
+            and not (
+                target_relative_error is not None
+                and losses > 0
+                and 1.0 / math.sqrt(losses) <= target_relative_error
+            )
+        ):
+            # The *pilot* censored too heavily to be informative (and
+            # did not converge anyway): discard it and restart with
+            # importance sampling.  Later chunks never re-trigger the
+            # switch — adaptive extension is already doing its job — and
+            # a custom factory cannot switch (IS on the bare model would
+            # estimate a different system).
+            use_is = True
+    if use_is:
+        from repro.simulation import rare_event
+
+        tally = _is_loss_tally(
+            model,
+            trials=trials,
+            horizon=max_time,
+            seed=seed,
+            replicas=replicas,
+            audits_per_year=audits_per_year,
+            bias=bias,
+            target_relative_error=target_relative_error,
+            cap=cap,
+        )
+        return rare_event.mttdl_from_loss_probability(
+            tally.loss_estimate(), max_time
+        )
     return _mttdl_estimate(total_time, losses, done)
+
+
+def _splitting_estimate(
+    model: Optional[FaultModel],
+    factory: Optional[SystemFactory],
+    mission_time: float,
+    trials: int,
+    seed: int,
+    replicas: int,
+    audits_per_year: Optional[float],
+    target_relative_error: Optional[float],
+    cap: int,
+) -> MonteCarloEstimate:
+    """Adaptive chunks of fixed-effort multilevel-splitting passes.
+
+    Each chunk is one independent splitting replication (``trials``
+    systems per level); replications pool by averaging, so the combined
+    estimate stays unbiased and its standard error shrinks as
+    ``1 / sqrt(chunks)``.
+    """
+    from repro.simulation import rare_event
+
+    means = []
+    errors = []
+    done = 0
+    losses = 0
+    chunk = 0
+    while done < cap:
+        if chunk and (
+            target_relative_error is None
+            or (
+                sum(means)
+                and math.sqrt(sum(e * e for e in errors))
+                / max(sum(means), 1e-300)
+                <= target_relative_error
+            )
+        ):
+            break
+        run = rare_event.splitting_loss_probability(
+            model=model,
+            mission_time=mission_time,
+            trials_per_level=trials,
+            seed=seed,
+            replicas=replicas,
+            audits_per_year=audits_per_year,
+            factory=factory,
+            chunk=chunk,
+        )
+        means.append(run.mean)
+        errors.append(run.std_error)
+        done += run.trials
+        losses += run.losses
+        chunk += 1
+    mean = sum(means) / chunk
+    std_error = math.sqrt(sum(e * e for e in errors)) / chunk
+    return MonteCarloEstimate(
+        mean=mean,
+        std_error=std_error,
+        trials=done,
+        censored=done - losses,
+        clamp_hi=1.0,
+        method="splitting",
+    )
 
 
 def estimate_loss_probability(
@@ -300,6 +529,8 @@ def estimate_loss_probability(
     backend: str = "event",
     target_relative_error: Optional[float] = None,
     max_trials: Optional[int] = None,
+    method: str = "standard",
+    bias: Optional[float] = None,
 ) -> MonteCarloEstimate:
     """Estimate the probability of data loss within a mission time.
 
@@ -307,12 +538,26 @@ def estimate_loss_probability(
     metric without the exponential shortcut.  The returned estimate's
     confidence interval is clamped to [0, 1].  ``backend`` and
     ``target_relative_error`` behave as in :func:`estimate_mttdl`.
+
+    ``method`` selects the estimator (see the module docstring):
+    ``"is"`` runs failure-biased importance sampling on the batch
+    machinery (``bias`` overrides the automatic acceleration factor,
+    ``trials`` sizes each weighted chunk), ``"splitting"`` runs
+    fixed-effort multilevel splitting on the event machinery
+    (``trials`` systems per level, so factory-built systems work too),
+    and ``"auto"`` pilots a standard chunk first, switching to IS
+    (model runs) or splitting (factory runs) when fewer than
+    :data:`AUTO_MIN_LOSSES` losses were observed.
     """
     if trials <= 0:
         raise ValueError("trials must be positive")
     if mission_time <= 0:
         raise ValueError("mission_time must be positive")
     _check_backend(backend, factory)
+    _check_method(method, factory)
+    if method == "is" and model is None:
+        raise ValueError("method='is' needs a FaultModel")
+    custom_factory = factory
     if factory is None:
         if model is None:
             raise ValueError("either model or factory must be provided")
@@ -320,11 +565,34 @@ def estimate_loss_probability(
             factory = _default_factory(model, replicas, audits_per_year)
 
     cap = _adaptive_cap(trials, max_trials)
+    if method == "splitting":
+        return _splitting_estimate(
+            model if custom_factory is None else None,
+            custom_factory,
+            mission_time,
+            trials,
+            seed,
+            replicas,
+            audits_per_year,
+            target_relative_error,
+            cap,
+        )
     losses = 0
     done = 0
     chunk = 0
     root = RandomStreams(seed=seed)
-    while True:
+    use_is = method == "is"
+    use_splitting = False
+    while not use_is and not use_splitting and done < cap:
+        if done and (
+            target_relative_error is None
+            or (
+                losses > 0
+                and math.sqrt((1.0 - losses / done) / losses)
+                <= target_relative_error
+            )
+        ):
+            break
         chunk_trials = min(trials, cap - done) if done else trials
         if backend == "batch":
             result = simulate_batch(
@@ -344,13 +612,41 @@ def estimate_loss_probability(
                     losses += 1
         done += chunk_trials
         chunk += 1
-        if target_relative_error is None or done >= cap:
-            break
-        p_so_far = losses / done
-        if losses > 0:
-            relative = math.sqrt((1.0 - p_so_far) / (p_so_far * done))
-            if relative <= target_relative_error:
-                break
+        if method == "auto" and losses < AUTO_MIN_LOSSES:
+            # Too few losses for a meaningful CI: discard the pilot and
+            # switch to a rare-event method — importance sampling when
+            # the pilot simulated a plain FaultModel, splitting when a
+            # custom factory did (IS on the bare model would silently
+            # estimate a different system than the factory builds).
+            if custom_factory is None:
+                use_is = True
+            else:
+                use_splitting = True
+    if use_is:
+        tally = _is_loss_tally(
+            model,
+            trials=trials,
+            horizon=mission_time,
+            seed=seed,
+            replicas=replicas,
+            audits_per_year=audits_per_year,
+            bias=bias,
+            target_relative_error=target_relative_error,
+            cap=cap,
+        )
+        return tally.loss_estimate()
+    if use_splitting:
+        return _splitting_estimate(
+            None,
+            custom_factory,
+            mission_time,
+            trials,
+            seed,
+            replicas,
+            audits_per_year,
+            target_relative_error,
+            cap,
+        )
     p = losses / done
     std_error = math.sqrt(max(p * (1.0 - p), 1e-12) / done)
     return MonteCarloEstimate(
@@ -371,12 +667,15 @@ def double_fault_combination_counts(
     max_time: Optional[float] = None,
     replicas: int = 2,
     backend: str = "event",
+    audits_per_year: Optional[float] = None,
 ) -> Dict[Tuple[FaultType, FaultType], int]:
     """Count which (first fault, final fault) combination caused each loss.
 
     Reproduces Figure 2 of the paper empirically: of the losses observed
     across the trials, how many were visible→visible, visible→latent,
-    latent→visible, latent→latent.
+    latent→visible, latent→latent.  ``audits_per_year`` overrides the
+    model-derived audit grid in both backends (it used to be silently
+    ignored, so the batch path always scrubbed at the model's rate).
     """
     if trials <= 0:
         raise ValueError("trials must be positive")
@@ -385,7 +684,12 @@ def double_fault_combination_counts(
         max_time = 1000.0 * model.mean_time_to_visible
     if backend == "batch":
         result = simulate_batch(
-            model, trials=trials, horizon=max_time, seed=seed, replicas=replicas
+            model,
+            trials=trials,
+            horizon=max_time,
+            seed=seed,
+            replicas=replicas,
+            audits_per_year=audits_per_year,
         )
         return result.combination_counts()
     root = RandomStreams(seed=seed)
@@ -396,7 +700,10 @@ def double_fault_combination_counts(
     }
     for trial in range(trials):
         system = system_from_fault_model(
-            model, replicas=replicas, streams=root.spawn(trial)
+            model,
+            replicas=replicas,
+            streams=root.spawn(trial),
+            audits_per_year=audits_per_year,
         )
         result = system.run(max_time=max_time)
         if (

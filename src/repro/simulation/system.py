@@ -64,6 +64,54 @@ class SystemConfig:
             raise ValueError("replicas must be at least 1")
 
 
+@dataclass(frozen=True)
+class ReplicaSnapshot:
+    """Captured health state of one replica (see :class:`SystemSnapshot`).
+
+    Attributes:
+        state: the replica's health state.
+        fault_time: when the outstanding fault occurred, if any.
+        detection_time: when the outstanding latent fault was detected,
+            if it has been.
+        repair_completion: absolute time the in-flight repair finishes,
+            or ``None`` when no repair is scheduled (healthy, or latent
+            and still undetected).
+        last_repair_time: when the replica last returned to service
+            (drives the age passed to non-memoryless fault processes).
+    """
+
+    state: ReplicaState
+    fault_time: Optional[float]
+    detection_time: Optional[float]
+    repair_completion: Optional[float]
+    last_repair_time: float
+
+
+@dataclass(frozen=True)
+class SystemSnapshot:
+    """Mid-flight state of a :class:`ReplicatedStorageSystem`.
+
+    A snapshot captures everything the dynamics depend on: per-replica
+    health (with in-flight repair completions as absolute times) and the
+    audit phase.  Pending fault arrivals are *not* captured — on restore
+    they are resampled conditionally on each replica's age, which is the
+    exact conditional distribution of the remaining delay (the same
+    resampling the correlation regime changes already rely on), so a
+    restored system is statistically indistinguishable from one that
+    kept running.  Used by the multilevel-splitting estimator in
+    :mod:`repro.simulation.rare_event` to restart trials from level
+    entry states.
+    """
+
+    time: float
+    replicas: Tuple[ReplicaSnapshot, ...]
+    next_audit_time: Optional[float]
+
+    @property
+    def faulty_count(self) -> int:
+        return sum(1 for snap in self.replicas if snap.state.is_faulty)
+
+
 @dataclass
 class RunResult:
     """Outcome of one simulated run.
@@ -82,6 +130,9 @@ class RunResult:
         repairs: total completed repairs.
         audits: number of audit passes performed.
         trace: the event trace, if tracing was enabled.
+        level_hit_time: when the run first reached ``stop_when_faulty``
+            simultaneously faulty replicas, if that stop was requested
+            and reached before loss or the horizon.
     """
 
     lost: bool
@@ -93,6 +144,7 @@ class RunResult:
     repairs: int = 0
     audits: int = 0
     trace: Optional[Trace] = None
+    level_hit_time: Optional[float] = None
 
 
 class ReplicatedStorageSystem:
@@ -113,6 +165,9 @@ class ReplicatedStorageSystem:
         )
         self._audits = 0
         self._last_repair_time: Dict[int, float] = {i: 0.0 for i in range(config.replicas)}
+        self._next_audit_time: Optional[float] = None
+        self._stop_when_faulty: Optional[int] = None
+        self._level_hit_time: Optional[float] = None
 
     # -- public API --------------------------------------------------------
 
@@ -128,13 +183,56 @@ class ReplicatedStorageSystem:
     def replicas(self) -> List[Replica]:
         return self._replicas
 
-    def run(self, max_time: float) -> RunResult:
-        """Run until data loss or ``max_time`` hours, whichever is first."""
+    def run(
+        self,
+        max_time: float,
+        stop_when_faulty: Optional[int] = None,
+        resume_from: Optional[SystemSnapshot] = None,
+    ) -> RunResult:
+        """Run until data loss or ``max_time`` hours, whichever is first.
+
+        Args:
+            max_time: absolute censoring horizon in hours.
+            stop_when_faulty: optionally stop the run the first time this
+                many replicas are simultaneously faulty (the
+                multilevel-splitting level function); the hit time is
+                returned as ``level_hit_time``.  Data loss still stops
+                the run first when it happens.
+            resume_from: start from a captured :class:`SystemSnapshot`
+                instead of a pristine system; ``max_time`` stays an
+                absolute time, so it must not precede the snapshot.
+        """
         if max_time <= 0:
             raise ValueError("max_time must be positive")
-        self._start()
-        self._engine.run(until=max_time)
-        end_time = self._engine.now if self._lost else max_time
+        if stop_when_faulty is not None and not (
+            1 <= stop_when_faulty <= len(self._replicas)
+        ):
+            raise ValueError(
+                "stop_when_faulty must be between 1 and the replica count"
+            )
+        self._stop_when_faulty = stop_when_faulty
+        if resume_from is not None:
+            if resume_from.time > max_time:
+                raise ValueError("max_time precedes the snapshot time")
+            self._restore(resume_from)
+        else:
+            self._start()
+        if (
+            stop_when_faulty is not None
+            and self._faulty_count() >= stop_when_faulty
+            and not self._lost
+        ):
+            # Already at or above the target level (a snapshot taken
+            # after a shock can jump several levels at once).
+            self._level_hit_time = self._engine.now
+        else:
+            self._engine.run(until=max_time)
+        if self._lost:
+            end_time = self._engine.now
+        elif self._level_hit_time is not None:
+            end_time = self._level_hit_time
+        else:
+            end_time = max_time
         return RunResult(
             lost=self._lost,
             end_time=end_time,
@@ -145,6 +243,37 @@ class ReplicatedStorageSystem:
             repairs=sum(r.repairs_completed for r in self._replicas),
             audits=self._audits,
             trace=self._trace if self._config.trace else None,
+            level_hit_time=self._level_hit_time,
+        )
+
+    def capture_snapshot(self) -> SystemSnapshot:
+        """Capture the current state for a later :meth:`run` resume.
+
+        Raises:
+            ValueError: once the data is lost (the absorbing state has
+                no meaningful continuation).
+        """
+        if self._lost:
+            raise ValueError("cannot snapshot a lost system")
+        replicas = []
+        for replica in self._replicas:
+            handle = self._repair_handles.get(replica.index)
+            repair_completion = None
+            if handle is not None and not handle.cancelled:
+                repair_completion = handle.time
+            replicas.append(
+                ReplicaSnapshot(
+                    state=replica.state,
+                    fault_time=replica.fault_time,
+                    detection_time=replica.detection_time,
+                    repair_completion=repair_completion,
+                    last_repair_time=self._last_repair_time[replica.index],
+                )
+            )
+        return SystemSnapshot(
+            time=self._engine.now,
+            replicas=tuple(replicas),
+            next_audit_time=self._next_audit_time,
         )
 
     # -- setup -------------------------------------------------------------
@@ -155,6 +284,41 @@ class ReplicatedStorageSystem:
         self._schedule_next_audit()
         shock_rate = self._config.correlation.shock_rate()
         if shock_rate > 0:
+            self._schedule_next_shock()
+
+    def _restore(self, snapshot: SystemSnapshot) -> None:
+        """Adopt a captured state and reschedule its implied events.
+
+        Replica health, in-flight repair completions, and the audit
+        phase come from the snapshot; pending fault arrivals are
+        resampled conditionally on each replica's age (exact for the
+        same reason the correlation regime changes may resample), and
+        memoryless shock arrivals restart fresh.
+        """
+        if len(snapshot.replicas) != len(self._replicas):
+            raise ValueError("snapshot replica count does not match")
+        self._engine.advance_to(snapshot.time)
+        for replica, snap in zip(self._replicas, snapshot.replicas):
+            replica.restore(snap.state, snap.fault_time, snap.detection_time)
+            self._last_repair_time[replica.index] = snap.last_repair_time
+            if snap.repair_completion is not None:
+                fault_type = replica.current_fault_type
+                handle = self._engine.schedule_at(
+                    snap.repair_completion,
+                    lambda i=replica.index, ft=fault_type: (
+                        self._on_repair_complete(i, ft)
+                    ),
+                )
+                self._repair_handles[replica.index] = handle
+        # Fault arrivals resample only after every replica's state is in
+        # place, so the correlation multiplier sees the restored regime.
+        for replica in self._replicas:
+            if not replica.is_faulty:
+                self._schedule_faults(replica.index)
+        if snapshot.next_audit_time is not None:
+            self._next_audit_time = snapshot.next_audit_time
+            self._engine.schedule_at(snapshot.next_audit_time, self._on_audit)
+        if self._config.correlation.shock_rate() > 0:
             self._schedule_next_shock()
 
     # -- fault scheduling ----------------------------------------------------
@@ -218,6 +382,16 @@ class ReplicatedStorageSystem:
         if self._faulty_count() == len(self._replicas):
             self._declare_loss(fault_type)
             return
+        if (
+            self._stop_when_faulty is not None
+            and self._level_hit_time is None
+            and self._faulty_count() >= self._stop_when_faulty
+        ):
+            # The splitting level function crossed its target; stop once
+            # the current event (a shock may fault several replicas at
+            # this instant) finishes, so snapshots see the full state.
+            self._level_hit_time = now
+            self._engine.stop()
         if previously_faulty == 0 and self._faulty_count() > 0:
             self._reschedule_healthy_replicas()
 
@@ -291,7 +465,9 @@ class ReplicatedStorageSystem:
             self._streams.stream("audit")
         )
         if delay == float("inf"):
+            self._next_audit_time = None
             return
+        self._next_audit_time = self._engine.now + delay
         self._engine.schedule(delay, self._on_audit)
 
     def _on_audit(self) -> None:

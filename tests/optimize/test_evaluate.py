@@ -114,11 +114,28 @@ class TestRefine:
 
     def test_zero_losses_use_rule_of_three_upper_bound(self):
         # Cheetah, weekly audits, 3 multi-site replicas: no losses in
-        # 200 trials, so the CI must widen to the rule-of-three bound.
-        settings = EvaluationSettings(trials=200, seed=3)
+        # 200 standard trials, so the CI must widen to the rule-of-three
+        # bound.
+        settings = EvaluationSettings(trials=200, seed=3, method="standard")
         refined = refine(screen(candidate(replicas=3), settings), settings)
         assert refined.simulated.losses == 0
+        assert refined.simulated.method == "standard"
         assert refined.simulated.ci_high == pytest.approx(3.0 / 200)
+        assert refined.agrees_with_screen is True
+
+    def test_auto_refinement_rescues_zero_loss_candidates(self):
+        # The same high-reliability candidate under the default
+        # method="auto": the standard pilot censors to zero losses, so
+        # the refinement must switch to importance sampling and come
+        # back with a real (non-rule-of-three) confidence interval.
+        settings = EvaluationSettings(trials=200, seed=3)
+        refined = refine(screen(candidate(replicas=3), settings), settings)
+        simulated = refined.simulated
+        assert simulated.method == "is"
+        assert simulated.losses > 0
+        assert 0.0 < simulated.mean < 3.0 / 200
+        assert simulated.ci_low <= simulated.mean <= simulated.ci_high
+        assert simulated.effective_sample_size > 0
         assert refined.agrees_with_screen is True
 
     def test_agreement_at_lossy_operating_point(self):

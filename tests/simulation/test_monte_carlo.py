@@ -47,8 +47,30 @@ class TestMonteCarloEstimate:
         estimate = MonteCarloEstimate(mean=200.0, std_error=10.0, trials=50)
         assert estimate.relative_error == pytest.approx(0.05)
 
-    def test_relative_error_zero_mean(self):
-        assert MonteCarloEstimate(0.0, 1.0, 10).relative_error == 0.0
+    def test_relative_error_zero_mean_is_unconverged(self):
+        # A zero-loss estimate carries no information about its own
+        # precision; reading it as "perfectly converged" (the old 0.0)
+        # would terminate adaptive sampling the moment a rare-event run
+        # starts.
+        assert MonteCarloEstimate(0.0, 1.0, 10).relative_error == math.inf
+        assert MonteCarloEstimate(0.0, 0.0, 10).relative_error == math.inf
+
+    def test_zero_loss_estimate_does_not_stop_adaptive_sampling(self):
+        # Regression: a first chunk with zero losses must keep adaptive
+        # sampling extending (up to its cap) instead of stopping at a
+        # "converged" zero.
+        model = fast_model(mean_repair_visible=0.01, mean_repair_latent=0.01,
+                           mean_detect_latent=0.05)
+        estimate = estimate_loss_probability(
+            model,
+            mission_time=40.0,
+            trials=40,
+            seed=9,
+            backend="batch",
+            target_relative_error=0.5,
+            max_trials=160,
+        )
+        assert estimate.trials > 40 or estimate.losses > 0
 
     def test_confidence_interval_clamps_below_zero(self):
         # Times and probabilities cannot be negative: the default clamp

@@ -157,17 +157,41 @@ class TestCommands:
         assert "censored" in output
 
     def test_simulate_surfaces_high_censoring_warning(self, capsys):
-        # A horizon far below the MTTDL censors nearly every trial; the
-        # warning must reach the CLI output, not just the warning
-        # machinery.
+        # A horizon far below the MTTDL censors nearly every trial; with
+        # the standard estimator forced, the warning must reach the CLI
+        # output, not just the warning machinery.
         assert main([
             "simulate", "--mv", "500", "--ml", "100", "--mrv", "1",
             "--mrl", "1", "--mdl", "5", "--trials", "100",
-            "--max-time", "150",
+            "--max-time", "150", "--method", "standard",
         ]) == 0
         output = capsys.readouterr().out
         assert "warning:" in output
         assert "censored" in output
+
+    def test_simulate_auto_switches_to_importance_sampling(self, capsys):
+        # The same heavily-censoring run under the default auto method
+        # must switch to importance sampling instead of warning.
+        assert main([
+            "simulate", "--mv", "500", "--ml", "100", "--mrv", "1",
+            "--mrl", "1", "--mdl", "5", "--trials", "100",
+            "--max-time", "150", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["method"] == "is"
+        assert payload["warnings"] == []
+        assert payload["effective_sample_size"] is not None
+
+    def test_simulate_explicit_is_method_reports_ess(self, capsys):
+        assert main([
+            "simulate", "--mv", "500", "--ml", "100", "--mrv", "1",
+            "--mrl", "1", "--mdl", "5", "--metric", "loss",
+            "--trials", "200", "--mission-years", "0.01",
+            "--method", "is", "--bias", "20",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "method" in output
+        assert "effective sample size" in output
 
     def test_mttdl_json_output(self, capsys):
         assert main(["mttdl", "--json"]) == 0
@@ -204,7 +228,7 @@ class TestCommands:
         assert main([
             "simulate", "--mv", "500", "--ml", "100", "--mrv", "1",
             "--mrl", "1", "--mdl", "5", "--trials", "100",
-            "--max-time", "150", "--json",
+            "--max-time", "150", "--method", "standard", "--json",
         ]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["warnings"]
