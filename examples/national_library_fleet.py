@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Fifty years of a national library's archive fleet, end to end.
+
+The earlier examples size *one* archive at *one* moment.  This
+walkthrough asks the question the paper actually poses: a national
+library operates a fleet of 2,000 member archives (branch collections,
+deposit partners) for half a century — media generations age and get
+refreshed at Kryder-declining prices, a proprietary-format migration
+sweep runs at year 20, and regional disasters occasionally hit many
+members at once.  What fraction of the fleet still holds its data in
+2076, when do the losses happen, and what did each member spend?
+
+The plan starts from the budget planner's recommendation
+(:func:`repro.fleet.timeline_from_recommendation` is the hand-off), is
+rebuilt as a generation-refresh timeline with aging and shocks, and
+runs through :func:`repro.fleet.simulate_fleet` — thousands of members,
+decades of simulated time, milliseconds of wall clock.
+
+Run with::
+
+    python examples/national_library_fleet.py
+"""
+
+from repro.analysis.plotting import ascii_line_chart
+from repro.analysis.tables import format_dict, format_table
+from repro.core.faults import FaultClass
+from repro.core.migration import CAMERA_RAW
+from repro.fleet import (
+    MigrationEvent,
+    generation_refresh_timeline,
+    shock_model_from_threats,
+    simulate_fleet,
+    timeline_from_recommendation,
+)
+from repro.optimize import DesignSpace, EvaluationSettings, optimize, recommend
+from repro.storage.site import diversified_placement
+from repro.threats.taxonomy import THREAT_REGISTRY
+
+MEMBERS = 2_000
+YEARS = 50.0
+DATASET_TB_PER_MEMBER = 5.0
+
+
+def planner_epoch_zero():
+    """Let the budget planner pick each member's starting design."""
+    space = DesignSpace(
+        dataset_tb=DATASET_TB_PER_MEMBER,
+        media=("drive:barracuda", "drive:cheetah"),
+        replica_counts=(2, 3),
+        audit_rates=(1.0, 12.0, 52.0),
+        placements=("multi",),
+    )
+    settings = EvaluationSettings(
+        mission_years=YEARS, trials=1_000, seed=2006
+    )
+    result = optimize(space, settings)
+    recommended = recommend(result.frontier, budget=12_000.0)
+    print(
+        format_dict(
+            {
+                "medium": recommended.candidate.medium,
+                "replicas": recommended.candidate.replicas,
+                "audits per year": recommended.candidate.audits_per_year,
+                "annual cost per member ($)": recommended.annual_cost,
+            },
+            title="planner recommendation (epoch 0 of the fleet plan)",
+        )
+    )
+    # The hand-off: the recommendation is a valid single-epoch timeline.
+    handoff = timeline_from_recommendation(recommended, years=YEARS)
+    print(
+        f"\nhand-off timeline: {len(handoff.epochs)} epoch, "
+        f"replicas={handoff.replicas}, "
+        f"${handoff.epochs[0].annual_cost_per_member:,.0f}/member-year\n"
+    )
+    return recommended
+
+
+def fleet_timeline(recommended):
+    """The recommendation, grown into a realistic 50-year plan."""
+    # Regional correlated threats: disasters and organisational failure,
+    # attenuated by each member's diversified 3-site placement.
+    threats = [
+        THREAT_REGISTRY[FaultClass.LARGE_SCALE_DISASTER],
+        THREAT_REGISTRY[FaultClass.ORGANIZATIONAL_FAULT],
+    ]
+    shocks = shock_model_from_threats(
+        threats,
+        placement=diversified_placement(recommended.candidate.replicas),
+        regions=4,
+    )
+    return generation_refresh_timeline(
+        medium=recommended.candidate.medium,
+        years=YEARS,
+        refresh_every_years=15.0,
+        replicas=recommended.candidate.replicas,
+        audits_per_year=recommended.candidate.audits_per_year,
+        dataset_tb_per_member=DATASET_TB_PER_MEMBER,
+        kryder_decline=0.15,
+        aging_onset_fraction=0.6,
+        aging_hazard_multiplier=3.0,
+        shocks=shocks,
+        migrations=[
+            MigrationEvent(
+                year=20.0,
+                risk=CAMERA_RAW,
+                cost_per_member=350.0,
+                label="retire proprietary RAW",
+            )
+        ],
+        label="national library fleet plan",
+    )
+
+
+def main() -> None:
+    recommended = planner_epoch_zero()
+    timeline = fleet_timeline(recommended)
+    print(
+        format_table(
+            ["epoch", "starts (yr)", "hazard x", "$/member-year"],
+            [
+                [
+                    epoch.label,
+                    epoch.start_year,
+                    epoch.hazard_multiplier,
+                    epoch.annual_cost_per_member,
+                ]
+                for epoch in timeline.epochs
+            ],
+            title=f"timeline: {timeline.label}",
+        )
+    )
+
+    result = simulate_fleet(timeline, MEMBERS, seed=2076, jobs=2)
+    summary = result.summary()
+    print()
+    print(
+        format_dict(
+            {
+                "members": summary["members"],
+                "losses": summary["losses"],
+                "surviving fraction": 1.0 - summary["loss_fraction"],
+                "95% CI on loss": (
+                    f"[{summary['loss_ci_low']:.3g}, "
+                    f"{summary['loss_ci_high']:.3g}]"
+                ),
+                "lost to the RAW migration": summary["migration_losses"],
+                "regional shocks": summary["shock_events"],
+                "repairs across the fleet": summary["repairs"],
+                "50-year cost per member ($)": (
+                    summary["total_cost_per_member"]
+                ),
+            },
+            title="the fleet at year 50",
+        )
+    )
+
+    survival = result.survival_curve()
+    print()
+    print(
+        ascii_line_chart(
+            list(range(len(survival))),
+            list(survival),
+            title="survival curve: fraction of members alive vs year",
+        )
+    )
+    cost = result.cumulative_cost_per_member()
+    print()
+    print(
+        ascii_line_chart(
+            list(range(1, len(cost) + 1)),
+            list(cost),
+            title="cumulative cost per member ($) vs year",
+        )
+    )
+    print(
+        "\nReading: organic double faults trickle; the migration at year"
+        " 20 and any regional shock show up as cliffs in the survival"
+        " curve, and the Kryder decline flattens each successive"
+        " refresh's cost step."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -33,10 +33,19 @@ the workflows the examples and benchmarks use:
     replication, audit rate, placement) for the cost–reliability
     Pareto frontier and recommend a configuration for a budget
     (``--budget``) and/or a loss-probability target (``--target-loss``).
+``fleet``
+    Decades-scale fleet simulation: run thousands of archive members
+    through a non-stationary :class:`~repro.fleet.FleetTimeline`
+    (generation refreshes, migrations, aging, correlated shocks) and
+    report the survival curve, loss-fraction-by-year, and cumulative
+    per-member cost trajectory.  ``--timeline`` loads a timeline JSON
+    file; without it a generation-refresh demo timeline is built from
+    ``--medium`` / ``--refresh-years`` / ``--years``.
 
-The ``mttdl``, ``simulate``, ``replication``, and ``optimize``
-sub-commands accept ``--json`` for machine-readable output.  All times
-are entered in hours, consistent with the library.
+Every sub-command with tabular output accepts ``--json`` for
+machine-readable output (emitted through one shared helper), and every
+stochastic sub-command accepts ``--seed``.  All times are entered in
+hours, consistent with the library.
 """
 
 from __future__ import annotations
@@ -57,6 +66,11 @@ from repro.core.parameters import FaultModel
 from repro.core.probability import probability_of_loss
 from repro.core.scenarios import paper_scenarios
 from repro.core.units import HOURS_PER_YEAR, years_to_hours
+from repro.fleet import (
+    FleetTimeline,
+    generation_refresh_timeline,
+    simulate_fleet,
+)
 from repro.optimize import (
     DesignSpace,
     EvaluationSettings,
@@ -103,6 +117,15 @@ def _finite_or_none(value: float) -> Optional[float]:
     return value if math.isfinite(value) else None
 
 
+def _emit_json(command: str, payload: Dict[str, object]) -> str:
+    """The one JSON emission path shared by every ``--json`` sub-command.
+
+    Prepends the ``command`` discriminator so consumers can route mixed
+    output streams, and fixes the formatting convention in one place.
+    """
+    return json.dumps({"command": command, **payload}, indent=2)
+
+
 def _cmd_scenarios(_args: argparse.Namespace) -> str:
     return format_scenario_table(paper_scenarios())
 
@@ -113,16 +136,15 @@ def _cmd_mttdl(args: argparse.Namespace) -> str:
     mission_hours = years_to_hours(args.mission_years)
     loss = probability_of_loss(mttdl, mission_hours)
     if args.json:
-        return json.dumps(
+        return _emit_json(
+            "mttdl",
             {
-                "command": "mttdl",
                 "parameters": model.as_dict(),
                 "mttdl_hours": _finite_or_none(mttdl),
                 "mttdl_years": _finite_or_none(mttdl / HOURS_PER_YEAR),
                 "mission_years": args.mission_years,
                 "loss_probability": loss,
             },
-            indent=2,
         )
     return format_dict(
         {
@@ -138,6 +160,18 @@ def _cmd_sweep_audit(args: argparse.Namespace) -> str:
     model = _model_from_args(args)
     rates = [float(rate) for rate in args.rates]
     sweep = sweep_audit_rate(model, rates)
+    if args.json:
+        return _emit_json(
+            "sweep-audit",
+            {
+                "parameters": model.as_dict(),
+                "audits_per_year": sweep.values,
+                "metrics": {
+                    name: [_finite_or_none(value) for value in series]
+                    for name, series in sweep.metrics.items()
+                },
+            },
+        )
     return format_sweep(sweep, title="MTTDL vs audit rate")
 
 
@@ -149,9 +183,9 @@ def _cmd_replication(args: argparse.Namespace) -> str:
         correlation_factors=[float(alpha) for alpha in args.alphas],
     )
     if args.json:
-        return json.dumps(
+        return _emit_json(
+            "replication",
             {
-                "command": "replication",
                 "mean_time_to_fault_hours": args.mv,
                 "mean_repair_time_hours": args.mrv,
                 "replicas": list(range(1, args.max_replicas + 1)),
@@ -160,7 +194,6 @@ def _cmd_replication(args: argparse.Namespace) -> str:
                     for alpha in results
                 },
             },
-            indent=2,
         )
     headers = ["replicas"] + [f"alpha={alpha:g} (yr)" for alpha in results]
     rows = []
@@ -241,9 +274,9 @@ def _cmd_simulate(args: argparse.Namespace) -> str:
     if estimate.effective_sample_size is not None:
         values["effective sample size"] = estimate.effective_sample_size
     if args.json:
-        return json.dumps(
+        return _emit_json(
+            "simulate",
             {
-                "command": "simulate",
                 "metric": args.metric,
                 "backend": args.backend,
                 "method": estimate.method,
@@ -263,7 +296,6 @@ def _cmd_simulate(args: argparse.Namespace) -> str:
                 else None,
                 "warnings": notes,
             },
-            indent=2,
         )
     output = format_dict(values, title=title)
     for note in notes:
@@ -331,9 +363,9 @@ def _cmd_optimize(args: argparse.Namespace) -> str:
     )
 
     if args.json:
-        return json.dumps(
+        return _emit_json(
+            "optimize",
             {
-                "command": "optimize",
                 "space": space.as_dict(),
                 "settings": settings.as_dict(),
                 "budget": args.budget,
@@ -342,7 +374,6 @@ def _cmd_optimize(args: argparse.Namespace) -> str:
                 "frontier": [e.as_dict() for e in result.frontier],
                 "recommended": recommended.as_dict(),
             },
-            indent=2,
         )
 
     mission = f"{args.mission_years:g} yr"
@@ -406,6 +437,113 @@ def _cmd_optimize(args: argparse.Namespace) -> str:
     return "\n\n".join(parts)
 
 
+def _fleet_timeline_from_args(args: argparse.Namespace) -> FleetTimeline:
+    if args.timeline is not None:
+        try:
+            return FleetTimeline.from_json(args.timeline)
+        except FileNotFoundError as error:
+            raise ValueError(
+                f"timeline file not found: {args.timeline}"
+            ) from error
+        except (json.JSONDecodeError, KeyError, TypeError) as error:
+            raise ValueError(
+                f"malformed timeline file {args.timeline}: {error}"
+            ) from error
+    try:
+        return generation_refresh_timeline(
+            medium=args.medium,
+            years=args.years,
+            refresh_every_years=args.refresh_years,
+            replicas=args.replicas,
+            audits_per_year=args.audits_per_year,
+        )
+    except KeyError as error:
+        raise ValueError(error.args[0]) from error
+
+
+def _cmd_fleet(args: argparse.Namespace) -> str:
+    timeline = _fleet_timeline_from_args(args)
+    result = simulate_fleet(
+        timeline,
+        members=args.members,
+        seed=args.seed,
+        jobs=args.jobs,
+        chunk_size=args.chunk_size,
+        cache_dir=args.cache_dir,
+    )
+    if args.json:
+        return _emit_json("fleet", result.as_dict())
+
+    summary = result.summary()
+    survival = result.survival_curve()
+    loss_by_year = result.loss_fraction_by_year()
+    cumulative_cost = result.cumulative_cost_per_member()
+    years = int(math.ceil(timeline.years))
+    step = max(1, years // 10)
+    checkpoints = list(range(0, years, step)) + [years]
+    rows = [
+        [
+            year,
+            survival[year],
+            loss_by_year[year - 1] if year else 0.0,
+            cumulative_cost[year - 1] if year else 0.0,
+        ]
+        for year in checkpoints
+    ]
+    parts = [
+        format_dict(
+            {
+                "timeline": timeline.label or "(unnamed)",
+                "members": summary["members"],
+                "years": summary["years"],
+                "epochs": summary["epochs"],
+                "migrations": summary["migrations"],
+                "losses": summary["losses"],
+                "surviving fraction": 1.0 - summary["loss_fraction"],
+                "loss fraction": summary["loss_fraction"],
+                "95% CI": (
+                    f"[{summary['loss_ci_low']:.3g}, "
+                    f"{summary['loss_ci_high']:.3g}]"
+                ),
+                "migration losses": summary["migration_losses"],
+                "shock events": summary["shock_events"],
+                "repairs": summary["repairs"],
+                "total cost per member ($)": summary["total_cost_per_member"],
+            },
+            title="fleet outcome",
+        ),
+        format_table(
+            ["year", "surviving", "cum. loss fraction", "cum. cost ($)"],
+            rows,
+            title="fleet trajectory",
+        ),
+        ascii_line_chart(
+            list(range(len(survival))),
+            list(survival),
+            title="survival curve: fraction of members alive vs year",
+        ),
+    ]
+    if cumulative_cost[-1] > 0:
+        parts.append(
+            ascii_line_chart(
+                list(range(1, len(cumulative_cost) + 1)),
+                list(cumulative_cost),
+                title="cumulative cost per member ($) vs year",
+            )
+        )
+    parts.append(
+        format_dict(
+            {
+                "chunks": summary["chunks"],
+                "new chunks": summary["new_chunks"],
+                "cache hits": summary["cache_hits"],
+            },
+            title="execution",
+        )
+    )
+    return "\n\n".join(parts)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -436,6 +574,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_model_arguments(sweep)
     sweep.add_argument("--rates", nargs="+", default=["0", "1", "3", "12", "52"],
                        help="audit rates (per year) to evaluate")
+    sweep.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON instead of a table")
     sweep.set_defaults(handler=_cmd_sweep_audit)
 
     replication = subparsers.add_parser(
@@ -551,6 +691,46 @@ def build_parser() -> argparse.ArgumentParser:
     optimize_parser.add_argument("--json", action="store_true",
                                  help="emit machine-readable JSON instead of a table")
     optimize_parser.set_defaults(handler=_cmd_optimize)
+
+    fleet = subparsers.add_parser(
+        "fleet",
+        help="simulate an archive fleet over a decades-scale timeline "
+        "(generation refreshes, migrations, aging, correlated shocks)",
+    )
+    fleet.add_argument("--timeline", default=None,
+                       help="path to a FleetTimeline JSON file (default: a "
+                       "generation-refresh timeline built from the flags "
+                       "below)")
+    fleet.add_argument("--years", type=float, default=50.0,
+                       help="horizon of the default timeline in years "
+                       "(default: 50)")
+    fleet.add_argument("--members", type=int, default=2000,
+                       help="fleet size (default: 2000)")
+    fleet.add_argument("--medium", default="drive:cheetah",
+                       help="medium of the default timeline "
+                       "(drive:<id> or media:<id>)")
+    fleet.add_argument("--refresh-years", type=float, default=15.0,
+                       help="media generation refresh interval of the "
+                       "default timeline (default: 15)")
+    fleet.add_argument("--replicas", type=int, default=2,
+                       help="replication degree of the default timeline "
+                       "(default: 2)")
+    fleet.add_argument("--audits-per-year", type=float, default=12.0,
+                       help="audit rate of the default timeline "
+                       "(default: 12)")
+    fleet.add_argument("--seed", type=int, default=0,
+                       help="root random seed (default: 0)")
+    fleet.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for chunked execution "
+                       "(default: 1, serial)")
+    fleet.add_argument("--chunk-size", type=int, default=1000,
+                       help="members per chunk (default: 1000)")
+    fleet.add_argument("--cache-dir", default=None,
+                       help="directory for the chunk tally cache "
+                       "(default: no cache)")
+    fleet.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON instead of tables")
+    fleet.set_defaults(handler=_cmd_fleet)
 
     return parser
 

@@ -1,0 +1,278 @@
+"""Chunked, parallel, cached execution of fleet timelines.
+
+The runner cuts a fleet of ``members`` archives into chunks, simulates
+each chunk on the vectorized population kernel — across a
+:class:`~concurrent.futures.ProcessPoolExecutor` when ``jobs > 1`` —
+and reduces the mergeable per-chunk tallies into one
+:class:`FleetResult` carrying the survival curve, the
+loss-fraction-by-year series, and the cumulative per-member cost
+trajectory.  Two properties make runs composable:
+
+* **order-independent seeding** — every chunk's stream family is keyed
+  by :func:`repro.simulation.rng.spawn_seed` on the chunk index, so
+  serial and parallel runs (and any worker scheduling) produce
+  bit-identical tallies;
+* **content-hash caching** — a chunk's tally is cached under a hash of
+  the full timeline definition, the chunk geometry and the root seed
+  (the same recipe as the optimizer's refinement cache), so re-running
+  a fleet costs nothing and growing one only pays for the new members.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.fleet.aggregate import FleetTally
+from repro.fleet.population import simulate_fleet_chunk
+from repro.fleet.timeline import FleetTimeline
+from repro.simulation.monte_carlo import MonteCarloEstimate
+from repro.simulation.rng import spawn_seed
+
+#: Default members per chunk: large enough to amortise the kernel's
+#: per-sweep overhead, small enough to spread across a worker pool.
+DEFAULT_CHUNK_SIZE = 1000
+
+
+def chunk_cache_key(
+    timeline: FleetTimeline, members: int, seed: int, index: int
+) -> str:
+    """Content hash identifying one chunk's tally."""
+    canonical = json.dumps(
+        {
+            "timeline": timeline.as_dict(),
+            "members": members,
+            "seed": seed,
+            "chunk": index,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:32]
+
+
+class FleetChunkCache:
+    """Directory-backed store of per-chunk fleet tallies.
+
+    One JSON file per chunk, named by its content hash; unreadable or
+    malformed entries degrade to re-simulation rather than failing the
+    run (the same contract as the optimizer's
+    :class:`~repro.optimize.runner.ResultCache`).
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"fleet-{key}.json"
+
+    def get(self, key: str) -> Optional[FleetTally]:
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            return FleetTally.from_dict(
+                json.loads(path.read_text(encoding="utf-8"))
+            )
+        except (ValueError, KeyError, TypeError):
+            return None
+
+    def put(self, key: str, tally: FleetTally) -> None:
+        self._path(key).write_text(
+            json.dumps(tally.as_dict(), sort_keys=True), encoding="utf-8"
+        )
+
+
+def _chunk_task(payload: Tuple[FleetTimeline, int, int, int]) -> FleetTally:
+    """Top-level worker so the pool can pickle the chunk simulation."""
+    timeline, size, chunk_seed, schedule_seed = payload
+    return FleetTally.from_chunk(
+        simulate_fleet_chunk(
+            timeline, size, seed=chunk_seed, schedule_seed=schedule_seed
+        )
+    )
+
+
+@dataclass
+class FleetResult:
+    """Everything one fleet run produced.
+
+    Attributes:
+        timeline: the timeline that was simulated.
+        members: fleet size.
+        seed: root seed.
+        tally: the merged fleet tally.
+        chunks: chunks the fleet was cut into.
+        new_chunks: chunks actually simulated this run.
+        cache_hits: chunks served from the cache.
+    """
+
+    timeline: FleetTimeline
+    members: int
+    seed: int
+    tally: FleetTally
+    chunks: int
+    new_chunks: int
+    cache_hits: int
+
+    def survival_curve(self) -> np.ndarray:
+        return self.tally.survival_curve()
+
+    def loss_fraction_by_year(self) -> np.ndarray:
+        return self.tally.loss_fraction_by_year()
+
+    def loss_estimate(self) -> MonteCarloEstimate:
+        return self.tally.loss_estimate()
+
+    def cost_per_member_by_year(self) -> np.ndarray:
+        """Per-member dollars spent in each calendar year.
+
+        The timeline's deterministic schedule (hardware amortisation,
+        power, admin, audits, migration sweeps) plus the simulated
+        repair activity priced at each year's epoch repair cost.
+        """
+        costs = self.timeline.base_cost_by_year()
+        repair_rates = (
+            self.tally.repair_year_counts[: costs.size]
+            / max(self.members, 1)
+        )
+        for year in range(costs.size):
+            epoch = self.timeline.epoch_at(
+                min(float(year), self.timeline.years)
+            )
+            costs[year] += repair_rates[year] * epoch.cost_per_repair
+        return costs
+
+    def cumulative_cost_per_member(self) -> np.ndarray:
+        """Running per-member total cost at the end of each year."""
+        return np.cumsum(self.cost_per_member_by_year())
+
+    def summary(self) -> Dict[str, object]:
+        estimate = self.loss_estimate()
+        low, high = estimate.confidence_interval()
+        return {
+            "members": self.members,
+            "years": self.timeline.years,
+            "epochs": len(self.timeline.epochs),
+            "migrations": len(self.timeline.migrations),
+            "losses": self.tally.losses,
+            "loss_fraction": self.tally.loss_fraction,
+            "loss_ci_low": low,
+            "loss_ci_high": high,
+            "migration_losses": self.tally.migration_losses,
+            # Every chunk runs through the same fleet-level schedule and
+            # counts it in full, so the per-chunk sum divides back out.
+            "shock_events": self.tally.shock_events // max(self.chunks, 1),
+            "shock_faults": self.tally.shock_faults,
+            "repairs": self.tally.repairs,
+            "total_cost_per_member": float(
+                self.cumulative_cost_per_member()[-1]
+            ),
+            "chunks": self.chunks,
+            "new_chunks": self.new_chunks,
+            "cache_hits": self.cache_hits,
+        }
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "timeline": self.timeline.as_dict(),
+            "seed": self.seed,
+            "summary": self.summary(),
+            "survival_curve": self.survival_curve().tolist(),
+            "loss_fraction_by_year": self.loss_fraction_by_year().tolist(),
+            "cumulative_cost_per_member": (
+                self.cumulative_cost_per_member().tolist()
+            ),
+        }
+
+
+def _chunk_sizes(members: int, chunk_size: int) -> List[int]:
+    full, remainder = divmod(members, chunk_size)
+    sizes = [chunk_size] * full
+    if remainder:
+        sizes.append(remainder)
+    return sizes
+
+
+def simulate_fleet(
+    timeline: FleetTimeline,
+    members: int,
+    seed: int = 0,
+    jobs: int = 1,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    cache_dir: Optional[Union[str, Path]] = None,
+) -> FleetResult:
+    """Simulate a fleet of ``members`` archives through a timeline.
+
+    Args:
+        timeline: the non-stationary plan to simulate.
+        members: fleet size.
+        seed: root seed; per-chunk seeds are spawned deterministically.
+        jobs: worker processes; 1 runs serially in-process.
+        chunk_size: members per chunk.
+        cache_dir: directory for the chunk tally cache; ``None``
+            disables caching.
+
+    Raises:
+        ValueError: for a non-positive fleet size, chunk size or job
+            count.
+    """
+    if members <= 0:
+        raise ValueError("members must be positive")
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    if jobs < 1:
+        raise ValueError("jobs must be at least 1")
+
+    cache = FleetChunkCache(cache_dir) if cache_dir is not None else None
+    sizes = _chunk_sizes(members, chunk_size)
+    tallies: Dict[int, FleetTally] = {}
+    pending: List[Tuple[int, Tuple[FleetTimeline, int, int]]] = []
+    cache_hits = 0
+    for index, size in enumerate(sizes):
+        cached = None
+        if cache is not None:
+            cached = cache.get(chunk_cache_key(timeline, size, seed, index))
+        if cached is not None:
+            tallies[index] = cached
+            cache_hits += 1
+        else:
+            chunk_seed = spawn_seed(seed, f"fleet-chunk-{index}")
+            # The schedule seed is the fleet's root seed: every chunk
+            # must experience the same shock arrivals and regions.
+            pending.append((index, (timeline, size, chunk_seed, seed)))
+
+    if pending:
+        payloads = [payload for _, payload in pending]
+        if jobs == 1 or len(pending) == 1:
+            results = [_chunk_task(payload) for payload in payloads]
+        else:
+            workers = min(jobs, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                results = list(pool.map(_chunk_task, payloads))
+        for (index, payload), tally in zip(pending, results):
+            tallies[index] = tally
+            if cache is not None:
+                cache.put(
+                    chunk_cache_key(timeline, payload[1], seed, index), tally
+                )
+
+    merged = tallies[0]
+    for index in range(1, len(sizes)):
+        merged = merged.merge(tallies[index])
+    return FleetResult(
+        timeline=timeline,
+        members=members,
+        seed=seed,
+        tally=merged,
+        chunks=len(sizes),
+        new_chunks=len(pending),
+        cache_hits=cache_hits,
+    )

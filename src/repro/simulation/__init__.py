@@ -70,7 +70,10 @@ from repro.simulation.system import (
 )
 from repro.simulation.batch import (
     BatchRunResult,
+    PiecewiseBatchState,
+    RateSegment,
     simulate_batch,
+    simulate_batch_piecewise,
 )
 from repro.simulation.monte_carlo import (
     HighCensoringWarning,
@@ -126,7 +129,10 @@ __all__ = [
     "RunResult",
     "system_from_fault_model",
     "BatchRunResult",
+    "PiecewiseBatchState",
+    "RateSegment",
     "simulate_batch",
+    "simulate_batch_piecewise",
     "HighCensoringWarning",
     "MonteCarloEstimate",
     "estimate_mttdl",

@@ -177,6 +177,21 @@ class WeightedLossTally:
         self.sum_x += float(loss_weights.sum())
         self.sum_x_sq += float(np.square(loss_weights).sum())
 
+    def merge(self, other: "WeightedLossTally") -> "WeightedLossTally":
+        """Combine two tallies accumulated over disjoint trials.
+
+        Every field is a plain sum, so merging is associative and
+        commutative and the merged estimate equals the one a single
+        tally over all trials would produce — the property that lets
+        parallel workers tally their own chunks and reduce in any order.
+        """
+        return WeightedLossTally(
+            trials=self.trials + other.trials,
+            losses=self.losses + other.losses,
+            sum_x=self.sum_x + other.sum_x,
+            sum_x_sq=self.sum_x_sq + other.sum_x_sq,
+        )
+
     @property
     def mean(self) -> float:
         if self.trials == 0:

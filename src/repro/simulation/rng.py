@@ -47,6 +47,19 @@ BATCH_SPAWN_TAG = 2**32 + 1
 #: never collide with the batch tag or plain Monte-Carlo trial offsets.
 SPLITTING_SPAWN_TAG = 2**32 + 2
 
+#: Spawn-key tag reserved for the piecewise (epoch-switched) batch
+#: kernel's per-replica clock pools.
+PIECEWISE_SPAWN_TAG = 2**32 + 3
+
+#: Spawn-key tag reserved for the fleet simulator's per-chunk event
+#: outcomes (shock penetrations, migration survival draws).
+FLEET_EVENT_SPAWN_TAG = 2**32 + 4
+
+#: Spawn-key tag reserved for the fleet simulator's *shared* event
+#: schedule (shock arrival times and struck regions) — keyed by the
+#: root seed only, so every chunk of one fleet sees the same events.
+FLEET_SCHEDULE_SPAWN_TAG = 2**32 + 5
+
 
 class RandomStreams:
     """A family of independent, named :class:`numpy.random.Generator` s.
@@ -174,6 +187,61 @@ def splitting_pool_generator(seed: int, stage: int) -> np.random.Generator:
         raise ValueError("stage must be non-negative")
     sequence = np.random.SeedSequence(
         entropy=seed, spawn_key=(SPLITTING_SPAWN_TAG, stage)
+    )
+    return np.random.default_rng(sequence)
+
+
+def piecewise_generator(seed: int, chunk: int = 0) -> np.random.Generator:
+    """Generator for one chunk of the piecewise (epoch-switched) kernel.
+
+    The piecewise kernel consumes its stream through per-(trial, replica)
+    clock pools rather than per-sweep draws, so it gets its own reserved
+    tag: sharing :data:`BATCH_SPAWN_TAG` would correlate a piecewise
+    chunk with the plain batch chunk of the same seed.
+    """
+    if seed < 0:
+        raise ValueError("seed must be non-negative")
+    if chunk < 0:
+        raise ValueError("chunk must be non-negative")
+    sequence = np.random.SeedSequence(
+        entropy=seed, spawn_key=(PIECEWISE_SPAWN_TAG, chunk)
+    )
+    return np.random.default_rng(sequence)
+
+
+def fleet_event_generator(seed: int, chunk: int = 0) -> np.random.Generator:
+    """Generator for one fleet chunk's event *outcomes*.
+
+    Covers the per-member randomness of scheduled events — which
+    replicas a shock penetrates, which members a migration sweep loses.
+    Kept separate from the clock-pool stream so the number of shocks a
+    timeline schedules can never shift which exponentials the fault
+    clocks consume — chunk results stay reproducible when shock or
+    migration settings change everything *except* the fault physics.
+    """
+    if seed < 0:
+        raise ValueError("seed must be non-negative")
+    if chunk < 0:
+        raise ValueError("chunk must be non-negative")
+    sequence = np.random.SeedSequence(
+        entropy=seed, spawn_key=(FLEET_EVENT_SPAWN_TAG, chunk)
+    )
+    return np.random.default_rng(sequence)
+
+
+def fleet_schedule_generator(seed: int) -> np.random.Generator:
+    """Generator for a fleet's *shared* event schedule.
+
+    Shock arrival times and the regions they strike are fleet-level
+    facts: every chunk of one fleet must see the same schedule, or the
+    cross-member correlation the shocks exist to model would silently
+    factorise over chunks (and the event count would scale with the
+    chunk count).  Keyed by the root seed alone — never by chunk.
+    """
+    if seed < 0:
+        raise ValueError("seed must be non-negative")
+    sequence = np.random.SeedSequence(
+        entropy=seed, spawn_key=(FLEET_SCHEDULE_SPAWN_TAG,)
     )
     return np.random.default_rng(sequence)
 

@@ -231,6 +231,32 @@ def compare_drive_costs(
     }
 
 
+def kryder_declined_cost(
+    base_cost_per_tb: float,
+    years_elapsed: float,
+    annual_decline: float = 0.15,
+) -> float:
+    """Hardware $/TB after Kryder-style price decline.
+
+    The paper's Section 4.3 leans on the long-running trend of
+    storage-cost-per-byte falling by a roughly constant fraction each
+    year (Kryder's observation); a generation refreshed ``years_elapsed``
+    years into a fleet timeline buys its hardware at
+    ``base * (1 - annual_decline) ** years_elapsed``.
+
+    Raises:
+        ValueError: for a negative elapsed time or a decline outside
+            [0, 1).
+    """
+    if base_cost_per_tb < 0:
+        raise ValueError("base_cost_per_tb must be non-negative")
+    if years_elapsed < 0:
+        raise ValueError("years_elapsed must be non-negative")
+    if not 0 <= annual_decline < 1:
+        raise ValueError("annual_decline must be in [0, 1)")
+    return base_cost_per_tb * (1.0 - annual_decline) ** years_elapsed
+
+
 def expected_repairs_per_year(mean_time_to_fault_hours: float) -> float:
     """Expected repair events per replica per year for a fault rate."""
     if mean_time_to_fault_hours <= 0:

@@ -14,8 +14,11 @@ from repro.core.parameters import FaultModel
 from repro.core.units import HOURS_PER_YEAR
 from repro.simulation.batch import (
     BatchRunResult,
+    PiecewiseBatchState,
+    RateSegment,
     audit_interval_for,
     simulate_batch,
+    simulate_batch_piecewise,
 )
 from repro.simulation.monte_carlo import (
     double_fault_combination_counts,
@@ -346,3 +349,186 @@ class TestBatchRunResultProperties:
         assert counts[(FaultType.VISIBLE, FaultType.LATENT)] == 1
         assert counts[(FaultType.LATENT, FaultType.LATENT)] == 1
         assert sum(counts.values()) == 2
+
+
+class TestPiecewiseTimeline:
+    """Epoch/horizon boundary handling of the piecewise kernel.
+
+    The contract under test: a fault clock drawn in one rate regime is
+    exposure-corrected when rates change mid-trial, so a boundary where
+    nothing changes is exactly a no-op and a genuine rate change is
+    distributionally exact (memorylessness + exponential scaling).
+    """
+
+    def fast_model(self, **overrides):
+        base = dict(
+            mean_time_to_visible=500.0,
+            mean_time_to_latent=100.0,
+            mean_repair_visible=1.0,
+            mean_repair_latent=1.0,
+            mean_detect_latent=5.0,
+            correlation_factor=1.0,
+        )
+        base.update(overrides)
+        return FaultModel(**base)
+
+    @pytest.mark.parametrize("alpha", [1.0, 0.2])
+    def test_identical_two_epoch_timeline_matches_single_epoch_exactly(
+        self, alpha
+    ):
+        model = self.fast_model(correlation_factor=alpha)
+        single = simulate_batch_piecewise(
+            [RateSegment(model, 1e5)], trials=2000, seed=7
+        )
+        double = simulate_batch_piecewise(
+            [RateSegment(model, 4e4), RateSegment(model, 1e5)],
+            trials=2000,
+            seed=7,
+        )
+        assert np.array_equal(single.lost, double.lost)
+        assert np.array_equal(single.end_time, double.end_time)
+        assert np.array_equal(
+            single.first_fault_type, double.first_fault_type
+        )
+        assert np.array_equal(
+            single.final_fault_type, double.final_fault_type
+        )
+
+    def test_equal_valued_distinct_models_are_still_a_no_op(self):
+        # The boundary compares rates by value, not identity.
+        a = self.fast_model()
+        b = self.fast_model()
+        single = simulate_batch_piecewise(
+            [RateSegment(a, 5e4)], trials=1000, seed=9
+        )
+        double = simulate_batch_piecewise(
+            [RateSegment(a, 2e4), RateSegment(b, 5e4)], trials=1000, seed=9
+        )
+        assert np.array_equal(single.lost, double.lost)
+        assert np.array_equal(single.end_time, double.end_time)
+
+    def test_single_segment_agrees_with_simulate_batch(self):
+        model = self.fast_model()
+        reference = simulate_batch(
+            model, trials=40000, horizon=2000.0, seed=11
+        )
+        piecewise = simulate_batch_piecewise(
+            [RateSegment(model, 2000.0)], trials=40000, seed=12
+        )
+        p_ref = reference.losses / reference.trials
+        p_pw = piecewise.losses / piecewise.trials
+        combined_se = np.sqrt(
+            p_ref * (1 - p_ref) / reference.trials
+            + p_pw * (1 - p_pw) / piecewise.trials
+        )
+        assert abs(p_ref - p_pw) < 5 * combined_se
+
+    def test_switch_to_safe_regime_stops_new_losses(self):
+        model = self.fast_model()
+        safe = self.fast_model(
+            mean_time_to_visible=1e13, mean_time_to_latent=1e13
+        )
+        result = simulate_batch_piecewise(
+            [RateSegment(model, 3000.0), RateSegment(safe, 1e5)],
+            trials=2000,
+            seed=3,
+        )
+        assert result.losses > 0
+        # Losses after the boundary can only finish windows opened
+        # before it: one latent detection interval (2 * MDL) plus both
+        # repairs bounds them.
+        margin = 2.0 * 5.0 + 1.0 + 1.0
+        assert result.end_time[result.lost].max() <= 3000.0 + margin
+
+    def test_disabling_scrubbing_at_a_boundary_strands_latents(self):
+        # Latent-dominated model: after the audit grid is switched off,
+        # undetected latent faults never recover, so losses rise sharply
+        # versus keeping the grid (same seed, same fault clocks).
+        model = self.fast_model(
+            mean_time_to_visible=1e9, mean_time_to_latent=5000.0
+        )
+        scrubbed = simulate_batch_piecewise(
+            [RateSegment(model, 500.0), RateSegment(model, 4000.0)],
+            trials=2000,
+            seed=5,
+        )
+        unscrubbed = simulate_batch_piecewise(
+            [
+                RateSegment(model, 500.0),
+                RateSegment(model, 4000.0, audits_per_year=0.0),
+            ],
+            trials=2000,
+            seed=5,
+        )
+        assert unscrubbed.losses > 2 * scrubbed.losses
+
+    def test_validation(self):
+        model = self.fast_model()
+        with pytest.raises(ValueError):
+            simulate_batch_piecewise([], trials=10)
+        with pytest.raises(ValueError):
+            simulate_batch_piecewise(
+                [RateSegment(model, 100.0), RateSegment(model, 100.0)],
+                trials=10,
+            )
+        with pytest.raises(ValueError):
+            RateSegment(model, 0.0)
+        with pytest.raises(ValueError):
+            PiecewiseBatchState(model, trials=0)
+
+
+class TestPiecewiseStateMachine:
+    def fast_model(self):
+        return FaultModel(500.0, 100.0, 1.0, 1.0, 5.0, 1.0)
+
+    def test_inject_faults_on_every_replica_loses_the_trial(self):
+        state = PiecewiseBatchState(self.fast_model(), trials=8, replicas=2)
+        members = np.array([0, 3, 5])
+        hits = np.ones((3, 2), dtype=bool)
+        state.inject_faults(10.0, members, hits)
+        assert state.lost[members].all()
+        assert np.count_nonzero(state.lost) == 3
+        assert state.end_time[members].tolist() == [10.0, 10.0, 10.0]
+        assert state.shock_faults == 6
+
+    def test_partial_hit_degrades_without_losing(self):
+        state = PiecewiseBatchState(self.fast_model(), trials=4, replicas=2)
+        hits = np.zeros((1, 2), dtype=bool)
+        hits[0, 0] = True
+        state.inject_faults(5.0, np.array([1]), hits)
+        assert not state.lost.any()
+        assert state.state[1, 0] != 0
+        # The struck replica repairs (visible fault, MRV = 1h).
+        assert state.recovery[1, 0] == pytest.approx(6.0)
+
+    def test_injection_on_lost_members_is_a_no_op(self):
+        state = PiecewiseBatchState(self.fast_model(), trials=2, replicas=2)
+        state.inject_faults(1.0, np.array([0]), np.ones((1, 2), dtype=bool))
+        faults_before = state.shock_faults
+        state.inject_faults(2.0, np.array([0]), np.ones((1, 2), dtype=bool))
+        assert state.shock_faults == faults_before
+
+    def test_cannot_advance_backwards_or_inject_in_the_past(self):
+        state = PiecewiseBatchState(self.fast_model(), trials=2)
+        state.advance_to(100.0)
+        with pytest.raises(ValueError):
+            state.advance_to(50.0)
+        with pytest.raises(ValueError):
+            state.inject_faults(
+                50.0, np.array([0]), np.ones((1, 2), dtype=bool)
+            )
+
+    def test_result_censors_survivors_at_current_time(self):
+        state = PiecewiseBatchState(self.fast_model(), trials=50)
+        state.advance_to(200.0)
+        result = state.result()
+        assert result.horizon == 200.0
+        assert np.all(result.end_time[~result.lost] == 200.0)
+
+    def test_repair_year_histogram_tracks_completions(self):
+        state = PiecewiseBatchState(
+            self.fast_model(), trials=200, track_years=1
+        )
+        state.advance_to(2000.0)
+        assert state.repair_year_counts is not None
+        assert state.repair_year_counts.sum() == state.repairs.sum()

@@ -646,3 +646,80 @@ class TestSnapshotResume:
         engine.schedule(1.0, lambda: None)
         with pytest.raises(ValueError):
             engine.advance_to(20.0)
+
+
+class TestWeightedLossTallyMerge:
+    """merge() must behave exactly like tallying all chunks in one pass."""
+
+    def chunks(self, count=3):
+        return [
+            simulate_batch(
+                paper_moderate_model(),
+                trials=400,
+                horizon=MISSION,
+                seed=4,
+                chunk=index,
+                bias=8.0,
+            )
+            for index in range(count)
+        ]
+
+    def test_merge_equals_streaming_add(self):
+        chunks = self.chunks()
+        streamed = WeightedLossTally()
+        for chunk in chunks:
+            streamed.add(chunk)
+        parts = []
+        for chunk in chunks:
+            tally = WeightedLossTally()
+            tally.add(chunk)
+            parts.append(tally)
+        merged = parts[0].merge(parts[1]).merge(parts[2])
+        assert merged.trials == streamed.trials
+        assert merged.losses == streamed.losses
+        assert merged.sum_x == pytest.approx(streamed.sum_x)
+        assert merged.sum_x_sq == pytest.approx(streamed.sum_x_sq)
+        assert merged.mean == pytest.approx(streamed.mean)
+        assert merged.std_error == pytest.approx(streamed.std_error)
+
+    def test_merge_is_commutative(self):
+        chunks = self.chunks(2)
+        a, b = WeightedLossTally(), WeightedLossTally()
+        a.add(chunks[0])
+        b.add(chunks[1])
+        ab, ba = a.merge(b), b.merge(a)
+        assert ab.trials == ba.trials
+        assert ab.losses == ba.losses
+        assert ab.sum_x == pytest.approx(ba.sum_x)
+        assert ab.sum_x_sq == pytest.approx(ba.sum_x_sq)
+
+    def test_merge_is_associative(self):
+        parts = []
+        for chunk in self.chunks():
+            tally = WeightedLossTally()
+            tally.add(chunk)
+            parts.append(tally)
+        a, b, c = parts
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        assert left.trials == right.trials
+        assert left.losses == right.losses
+        assert left.sum_x == pytest.approx(right.sum_x)
+        assert left.sum_x_sq == pytest.approx(right.sum_x_sq)
+
+    def test_merge_does_not_mutate_operands(self):
+        chunks = self.chunks(2)
+        a, b = WeightedLossTally(), WeightedLossTally()
+        a.add(chunks[0])
+        b.add(chunks[1])
+        before = (a.trials, a.losses, a.sum_x, a.sum_x_sq)
+        a.merge(b)
+        assert (a.trials, a.losses, a.sum_x, a.sum_x_sq) == before
+
+    def test_merge_with_empty_is_identity(self):
+        tally = WeightedLossTally()
+        tally.add(self.chunks(1)[0])
+        merged = tally.merge(WeightedLossTally())
+        assert merged.trials == tally.trials
+        assert merged.mean == pytest.approx(tally.mean)
+        assert merged.ess == pytest.approx(tally.ess)

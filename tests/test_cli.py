@@ -310,3 +310,110 @@ class TestOptimizeCommand:
         assert second["summary"]["cache_hits"] == second["summary"]["refined"]
         assert second["frontier"] == first["frontier"]
         assert second["recommended"] == first["recommended"]
+
+
+class TestSweepAuditJson:
+    def test_sweep_audit_json_flag_parses(self):
+        args = build_parser().parse_args(["sweep-audit", "--json"])
+        assert args.json
+
+    def test_sweep_audit_json_output(self, capsys):
+        assert main(["sweep-audit", "--rates", "0", "3", "12", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "sweep-audit"
+        assert payload["audits_per_year"] == [0.0, 3.0, 12.0]
+        assert set(payload["metrics"]) == {
+            "mttdl_hours", "mttdl_years", "mdl_hours",
+        }
+        assert len(payload["metrics"]["mttdl_years"]) == 3
+        # Scrubbing more often never hurts the MTTDL.
+        years = payload["metrics"]["mttdl_years"]
+        assert years[0] <= years[1] <= years[2]
+
+
+class TestFleetCommand:
+    """End-to-end runs of the decades-scale fleet simulator."""
+
+    def test_fleet_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.timeline is None
+        assert args.years == 50.0
+        assert args.members == 2000
+        assert args.seed == 0
+        assert args.jobs == 1
+        assert not args.json
+
+    def test_text_output_has_curves_and_summary(self, capsys):
+        assert main([
+            "fleet", "--members", "300", "--years", "20",
+            "--refresh-years", "8",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "fleet outcome" in output
+        assert "fleet trajectory" in output
+        assert "survival curve" in output
+        assert "cumulative cost per member" in output
+
+    def test_json_output_structure(self, capsys):
+        assert main([
+            "fleet", "--members", "300", "--years", "10",
+            "--refresh-years", "4", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "fleet"
+        assert payload["summary"]["members"] == 300
+        assert payload["summary"]["epochs"] >= 3
+        curve = payload["survival_curve"]
+        assert curve[0] == 1.0
+        assert all(b <= a for a, b in zip(curve, curve[1:]))
+        assert len(payload["cumulative_cost_per_member"]) == len(curve) - 1
+        assert payload["summary"]["loss_fraction"] == (
+            pytest.approx(1.0 - curve[-1])
+        )
+
+    def test_timeline_file_round_trips_through_the_cli(self, capsys, tmp_path):
+        from repro.core.parameters import FaultModel
+        from repro.fleet import stationary_timeline
+
+        model = FaultModel(500.0, 100.0, 1.0, 1.0, 5.0, 1.0)
+        path = tmp_path / "timeline.json"
+        stationary_timeline(
+            model, 2.0, annual_cost_per_member=10.0
+        ).to_json(path)
+        assert main([
+            "fleet", "--timeline", str(path), "--members", "200", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["years"] == 2.0
+        assert payload["summary"]["epochs"] == 1
+        assert payload["summary"]["losses"] > 0
+
+    def test_seed_changes_the_realisation(self, capsys):
+        command = ["fleet", "--members", "300", "--years", "10",
+                   "--refresh-years", "4", "--json"]
+        assert main(command + ["--seed", "1"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(command + ["--seed", "1"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert main(command + ["--seed", "2"]) == 0
+        third = json.loads(capsys.readouterr().out)
+        assert first == second
+        assert third != first
+
+    def test_missing_timeline_file_is_an_error(self, capsys):
+        assert main([
+            "fleet", "--timeline", "/nonexistent/t.json", "--members", "10",
+        ]) == 2
+        assert "timeline file not found" in capsys.readouterr().err
+
+    def test_malformed_timeline_file_is_an_error(self, capsys, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        assert main([
+            "fleet", "--timeline", str(path), "--members", "10",
+        ]) == 2
+        assert "malformed timeline" in capsys.readouterr().err
+
+    def test_unknown_medium_is_an_error(self, capsys):
+        assert main(["fleet", "--medium", "drive:floppy"]) == 2
+        assert "unknown medium" in capsys.readouterr().err
