@@ -19,7 +19,12 @@ decades of simulated time, milliseconds of wall clock.
 Run with::
 
     python examples/national_library_fleet.py
+
+``REPRO_EXAMPLE_SCALE`` (a multiplier in (0, 1], used by the CI smoke
+job) shrinks the fleet size and Monte-Carlo budgets proportionally.
 """
+
+import os
 
 from repro.analysis.plotting import ascii_line_chart
 from repro.analysis.tables import format_dict, format_table
@@ -36,7 +41,14 @@ from repro.optimize import DesignSpace, EvaluationSettings, optimize, recommend
 from repro.storage.site import diversified_placement
 from repro.threats.taxonomy import THREAT_REGISTRY
 
-MEMBERS = 2_000
+_SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "1.0"))
+
+
+def _scaled(budget: int, floor: int = 50) -> int:
+    return max(floor, int(budget * _SCALE))
+
+
+MEMBERS = _scaled(2_000, floor=100)
 YEARS = 50.0
 DATASET_TB_PER_MEMBER = 5.0
 
@@ -51,7 +63,7 @@ def planner_epoch_zero():
         placements=("multi",),
     )
     settings = EvaluationSettings(
-        mission_years=YEARS, trials=1_000, seed=2006
+        mission_years=YEARS, trials=_scaled(1_000), seed=2006
     )
     result = optimize(space, settings)
     recommended = recommend(result.frontier, budget=12_000.0)

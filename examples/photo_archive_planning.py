@@ -17,11 +17,16 @@ Run with::
 
     python examples/photo_archive_planning.py
 
+``REPRO_EXAMPLE_SCALE`` (a multiplier in (0, 1], used by the CI smoke
+job) shrinks the Monte-Carlo budgets proportionally.
+
 This walkthrough compares three hand-picked designs; to have the
 ``repro.optimize`` planner search the whole design space and read the
 answer off a cost-reliability Pareto frontier instead, see
 ``examples/plan_archive_budget.py``.
 """
+
+import os
 
 from repro.analysis.tables import format_dict, format_table
 from repro.simulation.monte_carlo import estimate_loss_probability
@@ -181,7 +186,9 @@ def verify_by_simulation() -> None:
         correlation_factor=two_site_alpha,
     )
     mission = years_to_hours(MISSION_YEARS)
-    trials = 4000
+    trials = max(
+        200, int(4000 * float(os.environ.get("REPRO_EXAMPLE_SCALE", "1.0")))
+    )
     standard = estimate_loss_probability(
         model, mission_time=mission, trials=trials, seed=7,
         backend="batch", method="standard",

@@ -12,7 +12,12 @@ Pareto frontier.
 Run with::
 
     python examples/plan_archive_budget.py
+
+``REPRO_EXAMPLE_SCALE`` (a multiplier in (0, 1], used by the CI smoke
+job) shrinks the Monte-Carlo refinement budget proportionally.
 """
+
+import os
 
 from repro.analysis.plotting import ascii_line_chart
 from repro.analysis.tables import format_dict, format_table
@@ -39,8 +44,11 @@ def main() -> None:
         placements=("single", "multi"),
         site_cost_per_year=1_500.0,
     )
+    trials = max(
+        200, int(2_000 * float(os.environ.get("REPRO_EXAMPLE_SCALE", "1.0")))
+    )
     settings = EvaluationSettings(
-        mission_years=MISSION_YEARS, trials=2_000, seed=2006
+        mission_years=MISSION_YEARS, trials=trials, seed=2006
     )
     print(
         f"Searching {space.size} candidate designs for {DATASET_TB:g} TB "

@@ -11,7 +11,12 @@ the paper uses.
 Run with::
 
     python examples/validate_model_by_simulation.py
+
+``REPRO_EXAMPLE_SCALE`` (a multiplier in (0, 1], used by the CI smoke
+job) shrinks the Monte-Carlo budgets proportionally.
 """
+
+import os
 
 from repro.analysis.compare import compare_models
 from repro.analysis.plotting import ascii_line_chart
@@ -26,6 +31,13 @@ from repro.simulation.monte_carlo import estimate_mttdl
 #: (latent faults five times as frequent as visible ones, scrub interval
 #: far above the repair time) but with hour-scale mean times so the
 #: Monte-Carlo runs finish in seconds.
+_SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "1.0"))
+
+
+def _scaled(budget: int, floor: int = 50) -> int:
+    return max(floor, int(budget * _SCALE))
+
+
 MODEL = FaultModel(
     mean_time_to_visible=2500.0,
     mean_time_to_latent=500.0,
@@ -39,20 +51,22 @@ MODEL = FaultModel(
 def mttdl_comparison() -> None:
     print("== MTTDL under every evaluation method ==\n")
     comparison = compare_models(MODEL)
-    estimate = estimate_mttdl(MODEL, trials=300, seed=1, max_time=5e6)
+    estimate = estimate_mttdl(MODEL, trials=_scaled(300), seed=1, max_time=5e6)
     # The vectorized backend makes a 20x larger sample just as cheap,
     # and adaptive sampling keeps extending it until the confidence
     # interval is tight.
     batch = estimate_mttdl(
         MODEL,
-        trials=6000,
+        trials=_scaled(6000),
         seed=1,
         max_time=5e6,
         backend="batch",
         target_relative_error=0.01,
     )
     rows = [[name, value] for name, value in comparison.in_years().items()]
-    rows.append(["monte_carlo (300 trials)", estimate.mean / HOURS_PER_YEAR])
+    rows.append(
+        [f"monte_carlo ({estimate.trials} trials)", estimate.mean / HOURS_PER_YEAR]
+    )
     low, high = estimate.confidence_interval()
     rows.append(["monte_carlo 95% CI low", low / HOURS_PER_YEAR])
     rows.append(["monte_carlo 95% CI high", high / HOURS_PER_YEAR])
@@ -72,7 +86,7 @@ def mission_curve() -> None:
     analytic = mirrored_mttdl(MODEL)
     horizons = [20000.0 * i for i in range(1, 11)]
     curve = loss_probability_curve(
-        MODEL, horizons, trials=250, seed=5, analytic_mttdl=analytic
+        MODEL, horizons, trials=_scaled(250), seed=5, analytic_mttdl=analytic
     )
     rows = [
         [

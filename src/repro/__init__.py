@@ -25,6 +25,23 @@ The package is organised as:
     Prior reliability models the paper builds on or compares against.
 ``repro.analysis``
     Sweeps, analytic-vs-simulation comparison, tables and reports.
+``repro.optimize``
+    The budget-constrained planner (design spaces, Pareto frontiers).
+``repro.fleet``
+    Decades-scale non-stationary fleet timelines and their simulator.
+``repro.study``
+    The unified facade: one declarative ``Scenario`` in, one
+    schema-versioned ``StudyResult`` out, across every layer above —
+    the recommended entry point for new code::
+
+        from repro.study import EstimatorPolicy, Scenario, SystemSpec, run
+
+        result = run(Scenario(
+            question="loss_probability",
+            system=SystemSpec(model=model),
+            mission_years=50.0,
+            policy=EstimatorPolicy(engine="auto", trials=2000, seed=7),
+        ))
 
 Quickstart::
 
@@ -75,4 +92,4 @@ __all__ = [
     "paper_scenarios",
 ]
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"

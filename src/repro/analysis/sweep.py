@@ -10,7 +10,10 @@ Alongside the closed-form sweeps, :func:`simulated_parameter_sweep` and
 :func:`simulated_audit_sweep` run the same grids through the Monte-Carlo
 estimators, defaulting to the vectorized ``batch`` backend so sweeping
 thousands of scenario points stays cheap; each simulated series carries
-its standard error next to the analytic prediction.
+its standard error next to the analytic prediction.  Both are now thin
+shims over the unified facade (:func:`repro.study.run` with a
+``question="sweep"`` scenario) — same loops, same seeds, bit-for-bit
+identical series.
 """
 
 from __future__ import annotations
@@ -23,10 +26,7 @@ from repro.core.parameters import FaultModel
 from repro.core.replication import replicated_mttdl
 from repro.core.sensitivity import PARAMETER_FIELDS
 from repro.core.units import HOURS_PER_YEAR
-from repro.simulation.monte_carlo import (
-    estimate_loss_probability,
-    estimate_mttdl,
-)
+from repro.simulation.estimators import check_backend
 
 
 @dataclass(frozen=True)
@@ -185,7 +185,9 @@ def sweep_correlation(
     )
 
 
-def _analytic_model(model: FaultModel, audits_per_year: Optional[float]) -> FaultModel:
+def audit_adjusted_model(
+    model: FaultModel, audits_per_year: Optional[float]
+) -> FaultModel:
     """Fold an audit-rate override into the model for analytic evaluation.
 
     The simulators take ``audits_per_year`` as a separate knob; the
@@ -246,8 +248,7 @@ def simulated_parameter_sweep(
         — for the MTTDL metric with mirrored pairs — the analytic
         ``mttdl_hours`` for comparison.
     """
-    field_name = PARAMETER_FIELDS.get(parameter)
-    if field_name is None:
+    if PARAMETER_FIELDS.get(parameter) is None:
         raise ValueError(
             f"unknown parameter {parameter!r}; expected one of "
             f"{sorted(PARAMETER_FIELDS)}"
@@ -256,43 +257,28 @@ def simulated_parameter_sweep(
         raise ValueError(
             f"unknown metric {metric!r}; expected 'mttdl' or 'loss_probability'"
         )
-    simulated: List[float] = []
-    errors: List[float] = []
-    analytic: List[float] = []
-    for value in values:
-        modified = replace(model, **{field_name: value})
-        if metric == "mttdl":
-            estimate = estimate_mttdl(
-                modified,
-                trials=trials,
-                seed=seed,
-                max_time=max_time,
-                replicas=replicas,
-                audits_per_year=audits_per_year,
-                backend=backend,
-                target_relative_error=target_relative_error,
-            )
-            if replicas == 2:
-                analytic.append(mirrored_mttdl(_analytic_model(modified, audits_per_year)))
-        else:
-            estimate = estimate_loss_probability(
-                modified,
-                mission_time=mission_years * HOURS_PER_YEAR,
-                trials=trials,
-                seed=seed,
-                replicas=replicas,
-                audits_per_year=audits_per_year,
-                backend=backend,
-                target_relative_error=target_relative_error,
-            )
-        simulated.append(estimate.mean)
-        errors.append(estimate.std_error)
-    metrics = {f"sim_{metric}": simulated, "sim_std_error": errors}
-    if analytic:
-        metrics["mttdl_hours"] = analytic
-    return SweepResult(
-        parameter=parameter, values=list(values), metrics=metrics
+    check_backend(backend, None)
+    from repro import study
+
+    scenario = study.Scenario(
+        question="sweep",
+        system=study.SystemSpec(
+            model=model, replicas=replicas, audits_per_year=audits_per_year
+        ),
+        sweep=study.SweepSpec(
+            parameter=parameter, values=tuple(values), metric=metric
+        ),
+        mission_years=mission_years,
+        max_time_hours=max_time,
+        policy=study.EstimatorPolicy(
+            engine=backend,
+            trials=trials,
+            seed=seed,
+            target_relative_error=target_relative_error,
+            cross_check=False,
+        ),
     )
+    return _sweep_from_details(study.run(scenario).details)
 
 
 def simulated_audit_sweep(
@@ -310,29 +296,36 @@ def simulated_audit_sweep(
     attached for side-by-side comparison; the simulated series carries
     standard errors so the benchmark harness can check agreement.
     """
-    rates = [float(rate) for rate in audits_per_year]
-    analytic = sweep_audit_rate(model, rates)
-    simulated: List[float] = []
-    errors: List[float] = []
-    for rate in rates:
-        estimate = estimate_mttdl(
-            model,
+    check_backend(backend, None)
+    from repro import study
+
+    scenario = study.Scenario(
+        question="sweep",
+        system=study.SystemSpec(model=model),
+        sweep=study.SweepSpec(
+            parameter="audits_per_year",
+            values=tuple(float(rate) for rate in audits_per_year),
+        ),
+        max_time_hours=max_time,
+        policy=study.EstimatorPolicy(
+            engine=backend,
             trials=trials,
             seed=seed,
-            max_time=max_time,
-            audits_per_year=rate,
-            backend=backend,
             target_relative_error=target_relative_error,
-        )
-        simulated.append(estimate.mean)
-        errors.append(estimate.std_error)
+            cross_check=False,
+        ),
+    )
+    return _sweep_from_details(study.run(scenario).details)
+
+
+def _sweep_from_details(details: Dict[str, object]) -> SweepResult:
+    """Rebuild the legacy :class:`SweepResult` from a study's details."""
     return SweepResult(
-        parameter="audits_per_year",
-        values=rates,
+        parameter=str(details["parameter"]),
+        values=list(details["values"]),
         metrics={
-            "sim_mttdl_hours": simulated,
-            "sim_std_error": errors,
-            "mttdl_hours": analytic.metric("mttdl_hours"),
+            name: list(series)
+            for name, series in details["metrics"].items()
         },
     )
 

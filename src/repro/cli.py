@@ -1,104 +1,115 @@
 """Command-line interface for the reliability toolkit.
 
-Installed as the ``repro-storage`` console script.  Sub-commands cover
-the workflows the examples and benchmarks use:
+Installed as the ``repro-storage`` console script.  Every sub-command is
+a thin adapter over the unified study facade: it parses its arguments
+into a declarative :class:`repro.study.Scenario`, answers it with
+:func:`repro.study.run`, and prints the resulting
+:class:`repro.study.StudyResult` through the one shared renderer
+(:mod:`repro.study.render`) — tables and ASCII charts by default, a
+schema-versioned ``{"command", "schema", "scenario", "result"}``
+envelope with ``--json``.  Because the scenario is embedded in every
+JSON payload, any emitted answer can be re-run verbatim.
+
+Sub-commands:
 
 ``scenarios``
     Print the paper's Section 5.4 worked examples next to the values the
     paper reports.
 ``mttdl``
-    Evaluate the mirrored MTTDL (and mission loss probability) for a
-    parameter set given on the command line.
+    Closed-form mirrored MTTDL (and mission loss probability) for a
+    parameter set given on the command line (``engine="analytic"``).
 ``sweep-audit``
-    MTTDL as a function of the audit rate.
+    MTTDL as a function of the audit rate; analytic by default, with a
+    simulated series when ``--trials`` is given.
 ``replication``
     Eq. 12 MTTDL for a range of replication degrees and correlation
     factors.
 ``validate``
-    Compare the closed forms against the exact Markov chain for a
-    parameter set.
+    Compare the closed forms against the exact Markov chain
+    (``engine="markov"``, which carries the full E11 table).
 ``simulate``
-    Monte-Carlo estimate of the MTTDL or mission loss probability,
-    using either the event-driven simulator (``--backend event``) or
-    the vectorized batch backend (``--backend batch``, the default).
-    ``--target-relative-error`` enables adaptive sampling: the run
-    keeps extending until the confidence interval converges.
-    ``--method`` picks the estimator (``auto``, the default, runs a
-    standard pilot and switches to rare-event importance sampling or
-    multilevel splitting when almost every trial censors; ``standard``,
-    ``is`` and ``splitting`` force one); ``--bias`` overrides the
-    automatic failure-biasing factor.
+    Monte-Carlo estimate of the MTTDL or mission loss probability.
+    ``--method``/``--backend`` map onto a study engine: ``auto`` (the
+    default) pilots on the vectorized batch backend and escalates to
+    rare-event importance sampling or multilevel splitting when almost
+    every trial censors; ``standard`` forces the plain estimator on the
+    chosen backend; ``is``/``splitting`` force a rare-event method.
 ``optimize``
-    Budget-constrained planner: search a design space (medium,
-    replication, audit rate, placement) for the cost–reliability
-    Pareto frontier and recommend a configuration for a budget
-    (``--budget``) and/or a loss-probability target (``--target-loss``).
+    Budget-constrained planner: search a design space for the
+    cost–reliability Pareto frontier and recommend a configuration for
+    ``--budget`` and/or ``--target-loss``.
 ``fleet``
-    Decades-scale fleet simulation: run thousands of archive members
-    through a non-stationary :class:`~repro.fleet.FleetTimeline`
-    (generation refreshes, migrations, aging, correlated shocks) and
-    report the survival curve, loss-fraction-by-year, and cumulative
-    per-member cost trajectory.  ``--timeline`` loads a timeline JSON
-    file; without it a generation-refresh demo timeline is built from
-    ``--medium`` / ``--refresh-years`` / ``--years``.
+    Decades-scale fleet simulation over a non-stationary
+    :class:`~repro.fleet.FleetTimeline` (``--timeline`` JSON file, or a
+    generation-refresh demo timeline built from the flags).
 
-Every sub-command with tabular output accepts ``--json`` for
-machine-readable output (emitted through one shared helper), and every
-stochastic sub-command accepts ``--seed``.  All times are entered in
-hours, consistent with the library.
+Every stochastic sub-command (``simulate``, ``optimize``, ``fleet``,
+``sweep-audit``) accepts ``--seed`` and ``--jobs`` through one shared
+parent parser, so the flags and their error messages are uniform.  All
+times are entered in hours, consistent with the library.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import math
 import sys
 import warnings
-from typing import Dict, List, Optional, Sequence
+from typing import Optional, Sequence
 
-from repro.analysis.compare import compare_models
-from repro.analysis.plotting import ascii_line_chart
-from repro.analysis.sweep import sweep_audit_rate, sweep_replication
-from repro.analysis.tables import format_dict, format_scenario_table, format_sweep, format_table
-from repro.core.mttdl import mirrored_mttdl
+from repro import study
+from repro.analysis.tables import format_scenario_table
 from repro.core.parameters import FaultModel
-from repro.core.probability import probability_of_loss
 from repro.core.scenarios import paper_scenarios
-from repro.core.units import HOURS_PER_YEAR, years_to_hours
-from repro.fleet import (
-    FleetTimeline,
-    generation_refresh_timeline,
-    simulate_fleet,
-)
-from repro.optimize import (
-    DesignSpace,
-    EvaluationSettings,
-    optimize,
-    recommend,
-)
+from repro.fleet import FleetTimeline, generation_refresh_timeline
+from repro.optimize import DesignSpace
 from repro.optimize.space import PLACEMENTS
-from repro.simulation.monte_carlo import (
-    HighCensoringWarning,
-    estimate_loss_probability,
-    estimate_mttdl,
-)
+from repro.simulation.monte_carlo import HighCensoringWarning
+
+# Re-exported for backward compatibility: the one JSON emission path now
+# lives in the shared renderer.
+_emit_json = study.emit_json
 
 
-def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
-    """Register the FaultModel parameters (defaults: scrubbed Cheetah pair)."""
-    parser.add_argument("--mv", type=float, default=1.4e6,
+# ---------------------------------------------------------------------------
+# Shared parent parsers
+# ---------------------------------------------------------------------------
+
+
+def _model_parent() -> argparse.ArgumentParser:
+    """The FaultModel parameters (defaults: scrubbed Cheetah pair)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--mv", type=float, default=1.4e6,
                         help="mean time to a visible fault, hours (default: 1.4e6)")
-    parser.add_argument("--ml", type=float, default=2.8e5,
+    parent.add_argument("--ml", type=float, default=2.8e5,
                         help="mean time to a latent fault, hours (default: 2.8e5)")
-    parser.add_argument("--mrv", type=float, default=1.0 / 3.0,
+    parent.add_argument("--mrv", type=float, default=1.0 / 3.0,
                         help="mean repair time for visible faults, hours (default: 20 min)")
-    parser.add_argument("--mrl", type=float, default=1.0 / 3.0,
+    parent.add_argument("--mrl", type=float, default=1.0 / 3.0,
                         help="mean repair time for latent faults, hours (default: 20 min)")
-    parser.add_argument("--mdl", type=float, default=1460.0,
+    parent.add_argument("--mdl", type=float, default=1460.0,
                         help="mean latent detection delay, hours (default: 1460)")
-    parser.add_argument("--alpha", type=float, default=1.0,
+    parent.add_argument("--alpha", type=float, default=1.0,
                         help="correlation factor in (0, 1] (default: 1.0)")
+    return parent
+
+
+def _stochastic_parent() -> argparse.ArgumentParser:
+    """The knobs every stochastic sub-command shares."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--seed", type=int, default=0,
+                        help="root random seed (default: 0)")
+    parent.add_argument("--jobs", type=int, default=1,
+                        help="worker processes where the engine parallelises "
+                        "(optimize refinement, fleet chunks; default: 1, serial)")
+    return parent
+
+
+def _json_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON instead of tables")
+    return parent
 
 
 def _model_from_args(args: argparse.Namespace) -> FaultModel:
@@ -112,18 +123,28 @@ def _model_from_args(args: argparse.Namespace) -> FaultModel:
     )
 
 
-def _finite_or_none(value: float) -> Optional[float]:
-    """Strict-JSON stand-in for infinities (e.g. a lossless MTTDL run)."""
-    return value if math.isfinite(value) else None
+def _answer(args: argparse.Namespace, scenario: study.Scenario) -> str:
+    """Run a scenario and render it the way the invocation asked for.
 
-
-def _emit_json(command: str, payload: Dict[str, object]) -> str:
-    """The one JSON emission path shared by every ``--json`` sub-command.
-
-    Prepends the ``command`` discriminator so consumers can route mixed
-    output streams, and fixes the formatting convention in one place.
+    Estimator warnings are already captured into the result (and
+    rendered next to the numbers they qualify), so their default
+    stderr emission is suppressed here.
     """
-    return json.dumps({"command": command, **payload}, indent=2)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", HighCensoringWarning)
+        result = study.run(
+            scenario,
+            jobs=getattr(args, "jobs", 1),
+            cache_dir=getattr(args, "cache_dir", None),
+        )
+    if getattr(args, "json", False):
+        return study.render_json(args.command, scenario, result)
+    return study.render_text(scenario, result)
+
+
+# ---------------------------------------------------------------------------
+# Sub-command adapters: arguments -> Scenario
+# ---------------------------------------------------------------------------
 
 
 def _cmd_scenarios(_args: argparse.Namespace) -> str:
@@ -131,202 +152,93 @@ def _cmd_scenarios(_args: argparse.Namespace) -> str:
 
 
 def _cmd_mttdl(args: argparse.Namespace) -> str:
-    model = _model_from_args(args)
-    mttdl = mirrored_mttdl(model)
-    mission_hours = years_to_hours(args.mission_years)
-    loss = probability_of_loss(mttdl, mission_hours)
-    if args.json:
-        return _emit_json(
-            "mttdl",
-            {
-                "parameters": model.as_dict(),
-                "mttdl_hours": _finite_or_none(mttdl),
-                "mttdl_years": _finite_or_none(mttdl / HOURS_PER_YEAR),
-                "mission_years": args.mission_years,
-                "loss_probability": loss,
-            },
-        )
-    return format_dict(
-        {
-            "MTTDL (hours)": mttdl,
-            "MTTDL (years)": mttdl / HOURS_PER_YEAR,
-            f"P(loss in {args.mission_years:g} years)": loss,
-        },
-        title="mirrored-pair reliability",
+    scenario = study.Scenario(
+        question="mttdl",
+        system=study.SystemSpec(model=_model_from_args(args)),
+        mission_years=args.mission_years,
+        policy=study.EstimatorPolicy(engine="analytic"),
     )
+    return _answer(args, scenario)
 
 
 def _cmd_sweep_audit(args: argparse.Namespace) -> str:
-    model = _model_from_args(args)
-    rates = [float(rate) for rate in args.rates]
-    sweep = sweep_audit_rate(model, rates)
-    if args.json:
-        return _emit_json(
-            "sweep-audit",
-            {
-                "parameters": model.as_dict(),
-                "audits_per_year": sweep.values,
-                "metrics": {
-                    name: [_finite_or_none(value) for value in series]
-                    for name, series in sweep.metrics.items()
-                },
-            },
-        )
-    return format_sweep(sweep, title="MTTDL vs audit rate")
+    engine = "analytic" if args.trials == 0 else "batch"
+    scenario = study.Scenario(
+        question="sweep",
+        system=study.SystemSpec(model=_model_from_args(args)),
+        sweep=study.SweepSpec(
+            parameter="audits_per_year",
+            values=tuple(float(rate) for rate in args.rates),
+        ),
+        policy=study.EstimatorPolicy(
+            engine=engine,
+            trials=args.trials if args.trials else 1000,
+            seed=args.seed,
+        ),
+    )
+    return _answer(args, scenario)
 
 
 def _cmd_replication(args: argparse.Namespace) -> str:
-    results = sweep_replication(
-        mean_time_to_fault=args.mv,
-        mean_repair_time=args.mrv,
-        max_replicas=args.max_replicas,
-        correlation_factors=[float(alpha) for alpha in args.alphas],
+    # The replicas sweep only reads the visible-fault mean time and
+    # repair time; the remaining FaultModel fields are inert stand-ins.
+    model = FaultModel(
+        mean_time_to_visible=args.mv,
+        mean_time_to_latent=args.mv,
+        mean_repair_visible=args.mrv,
+        mean_repair_latent=args.mrv,
+        mean_detect_latent=0.0,
     )
-    if args.json:
-        return _emit_json(
-            "replication",
-            {
-                "mean_time_to_fault_hours": args.mv,
-                "mean_repair_time_hours": args.mrv,
-                "replicas": list(range(1, args.max_replicas + 1)),
-                "mttdl_years_by_alpha": {
-                    f"{alpha:g}": list(results[alpha].metric("mttdl_years"))
-                    for alpha in results
-                },
-            },
-        )
-    headers = ["replicas"] + [f"alpha={alpha:g} (yr)" for alpha in results]
-    rows = []
-    for index in range(args.max_replicas):
-        rows.append(
-            [index + 1]
-            + [results[alpha].metric("mttdl_years")[index] for alpha in results]
-        )
-    return format_table(headers, rows)
-
-
-def _cmd_simulate(args: argparse.Namespace) -> str:
-    model = _model_from_args(args)
-    # Record HighCensoringWarning instead of letting it fall through to
-    # stderr's default one-shot warning machinery, so the CLI can report
-    # it next to the numbers it qualifies (and in the JSON payload).
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always", HighCensoringWarning)
-        if args.metric == "mttdl":
-            estimate = estimate_mttdl(
-                model,
-                trials=args.trials,
-                seed=args.seed,
-                max_time=args.max_time,
-                replicas=args.replicas,
-                audits_per_year=args.audits_per_year,
-                backend=args.backend,
-                target_relative_error=args.target_relative_error,
-                method=args.method,
-                bias=args.bias,
-            )
-        else:
-            estimate = estimate_loss_probability(
-                model,
-                mission_time=years_to_hours(args.mission_years),
-                trials=args.trials,
-                seed=args.seed,
-                replicas=args.replicas,
-                audits_per_year=args.audits_per_year,
-                backend=args.backend,
-                target_relative_error=args.target_relative_error,
-                method=args.method,
-                bias=args.bias,
-            )
-    notes = []
-    for entry in caught:
-        if issubclass(entry.category, HighCensoringWarning):
-            notes.append(str(entry.message))
-        else:
-            # Unrelated warnings (numpy runtime warnings, deprecations)
-            # keep flowing through the normal machinery.
-            warnings.warn_explicit(
-                entry.message, entry.category, entry.filename, entry.lineno
-            )
-    low, high = estimate.confidence_interval()
-    if args.metric == "mttdl":
-        values = {
-            "MTTDL (hours)": estimate.mean,
-            "MTTDL (years)": estimate.mean / HOURS_PER_YEAR,
-            "std error (hours)": estimate.std_error,
-            "95% CI low (years)": low / HOURS_PER_YEAR,
-            "95% CI high (years)": high / HOURS_PER_YEAR,
-            "trials": estimate.trials,
-            "censored": estimate.censored,
-        }
-        title = f"simulated MTTDL ({args.backend} backend)"
-    else:
-        values = {
-            f"P(loss in {args.mission_years:g} years)": estimate.mean,
-            "std error": estimate.std_error,
-            "95% CI low": low,
-            "95% CI high": high,
-            "trials": estimate.trials,
-            "censored": estimate.censored,
-        }
-        title = f"simulated loss probability ({args.backend} backend)"
-    values["method"] = estimate.method
-    if estimate.effective_sample_size is not None:
-        values["effective sample size"] = estimate.effective_sample_size
-    if args.json:
-        return _emit_json(
-            "simulate",
-            {
-                "metric": args.metric,
-                "backend": args.backend,
-                "method": estimate.method,
-                "parameters": model.as_dict(),
-                "replicas": args.replicas,
-                "mean": _finite_or_none(estimate.mean),
-                "std_error": _finite_or_none(estimate.std_error),
-                "ci_low": _finite_or_none(low),
-                "ci_high": _finite_or_none(high),
-                "trials": estimate.trials,
-                "censored": estimate.censored,
-                "losses": estimate.losses,
-                "effective_sample_size": _finite_or_none(
-                    estimate.effective_sample_size
-                )
-                if estimate.effective_sample_size is not None
-                else None,
-                "warnings": notes,
-            },
-        )
-    output = format_dict(values, title=title)
-    for note in notes:
-        output += f"\nwarning: {note}"
-    return output
+    scenario = study.Scenario(
+        question="sweep",
+        system=study.SystemSpec(model=model),
+        sweep=study.SweepSpec(
+            parameter="replicas",
+            values=tuple(float(r) for r in range(1, args.max_replicas + 1)),
+            correlation_factors=tuple(float(a) for a in args.alphas),
+        ),
+        policy=study.EstimatorPolicy(engine="analytic"),
+    )
+    return _answer(args, scenario)
 
 
 def _cmd_validate(args: argparse.Namespace) -> str:
-    model = _model_from_args(args)
-    comparison = compare_models(model)
-    return format_dict(comparison.in_years(), title="MTTDL (years) by method")
+    scenario = study.Scenario(
+        question="mttdl",
+        system=study.SystemSpec(model=_model_from_args(args)),
+        policy=study.EstimatorPolicy(engine="markov"),
+    )
+    return _answer(args, scenario)
 
 
-def _frontier_rows(frontier) -> List[List[object]]:
-    rows: List[List[object]] = []
-    for evaluation in frontier:
-        candidate = evaluation.candidate
-        rows.append(
-            [
-                candidate.medium,
-                candidate.replicas,
-                candidate.audits_per_year,
-                candidate.placement,
-                evaluation.annual_cost,
-                evaluation.analytic_loss_probability,
-                evaluation.loss_probability,
-                evaluation.loss_low,
-                evaluation.loss_high,
-            ]
-        )
-    return rows
+def _cmd_simulate(args: argparse.Namespace) -> str:
+    engine = study.engine_for(args.backend, args.method)
+    if engine is None:
+        # The one legacy combination without an engine equivalent
+        # (event-backend auto piloting) escalates through the default
+        # auto engine instead.
+        engine = "auto"
+    scenario = study.Scenario(
+        question="mttdl" if args.metric == "mttdl" else "loss_probability",
+        system=study.SystemSpec(
+            model=_model_from_args(args),
+            replicas=args.replicas,
+            audits_per_year=args.audits_per_year,
+        ),
+        mission_years=args.mission_years,
+        max_time_hours=args.max_time,
+        policy=study.EstimatorPolicy(
+            engine=engine,
+            trials=args.trials,
+            seed=args.seed,
+            target_relative_error=args.target_relative_error,
+            bias=args.bias,
+        ),
+    )
+    return _answer(args, scenario)
+
+
+_OPTIMIZE_ENGINES = {"auto": "auto", "standard": "batch", "is": "is"}
 
 
 def _cmd_optimize(args: argparse.Namespace) -> str:
@@ -345,96 +257,20 @@ def _cmd_optimize(args: argparse.Namespace) -> str:
         # Catalog lookups raise KeyError with a message listing the
         # known identifiers; surface it as a user-input error.
         raise ValueError(error.args[0]) from error
-    settings = EvaluationSettings(
+    scenario = study.Scenario(
+        question="frontier",
+        space=space,
         mission_years=args.mission_years,
-        trials=args.trials,
-        seed=args.seed,
-        method=args.method,
-    )
-    result = optimize(
-        space,
-        settings,
-        jobs=args.jobs,
-        cache_dir=args.cache_dir,
+        budget=args.budget,
+        target_loss=args.target_loss,
         slack=args.slack,
-    )
-    recommended = recommend(
-        result.frontier, budget=args.budget, target_loss=args.target_loss
-    )
-
-    if args.json:
-        return _emit_json(
-            "optimize",
-            {
-                "space": space.as_dict(),
-                "settings": settings.as_dict(),
-                "budget": args.budget,
-                "target_loss": args.target_loss,
-                "summary": result.summary(),
-                "frontier": [e.as_dict() for e in result.frontier],
-                "recommended": recommended.as_dict(),
-            },
-        )
-
-    mission = f"{args.mission_years:g} yr"
-    table = format_table(
-        [
-            "medium",
-            "replicas",
-            "audits/yr",
-            "placement",
-            "cost ($/yr)",
-            f"screen P(loss, {mission})",
-            f"sim P(loss, {mission})",
-            "95% CI low",
-            "95% CI high",
-        ],
-        _frontier_rows(result.frontier),
-        title="cost-reliability Pareto frontier",
-    )
-    parts = [table]
-    # The log-scale chart can only show points with a non-zero screened
-    # loss; a degenerate (rate-zero) candidate is still in the table.
-    chartable = [e for e in result.frontier if e.analytic_loss_probability > 0]
-    if len(chartable) >= 2:
-        parts.append(
-            ascii_line_chart(
-                [e.annual_cost for e in chartable],
-                [e.analytic_loss_probability for e in chartable],
-                title=f"frontier: annual cost ($) vs screened P(loss, {mission}), log y",
-                log_y=True,
-            )
-        )
-    candidate = recommended.candidate
-    recommendation = {
-        "medium": candidate.medium,
-        "replicas": candidate.replicas,
-        "audits per year": candidate.audits_per_year,
-        "placement": candidate.placement,
-        "annual cost ($)": recommended.annual_cost,
-        f"screened P(loss, {mission})": recommended.analytic_loss_probability,
-        f"simulated P(loss, {mission})": recommended.loss_probability,
-        "95% CI": f"[{recommended.loss_low:.3g}, {recommended.loss_high:.3g}]",
-        "refined with": (
-            recommended.simulated.method if recommended.simulated else "screen"
+        policy=study.EstimatorPolicy(
+            engine=_OPTIMIZE_ENGINES[args.method],
+            trials=args.trials,
+            seed=args.seed,
         ),
-        "agrees with screen": bool(recommended.agrees_with_screen),
-    }
-    parts.append(format_dict(recommendation, title="recommended configuration"))
-    summary = result.summary()
-    parts.append(
-        format_dict(
-            {
-                "candidates": summary["candidates"],
-                "pruned by screen": summary["pruned_by_screen"],
-                "refined by simulation": summary["refined"],
-                "new evaluations": summary["new_evaluations"],
-                "cache hits": summary["cache_hits"],
-            },
-            title="search effort",
-        )
     )
-    return "\n\n".join(parts)
+    return _answer(args, scenario)
 
 
 def _fleet_timeline_from_args(args: argparse.Namespace) -> FleetTimeline:
@@ -462,86 +298,19 @@ def _fleet_timeline_from_args(args: argparse.Namespace) -> FleetTimeline:
 
 
 def _cmd_fleet(args: argparse.Namespace) -> str:
-    timeline = _fleet_timeline_from_args(args)
-    result = simulate_fleet(
-        timeline,
+    scenario = study.Scenario(
+        question="fleet_survival",
+        timeline=_fleet_timeline_from_args(args),
         members=args.members,
-        seed=args.seed,
-        jobs=args.jobs,
         chunk_size=args.chunk_size,
-        cache_dir=args.cache_dir,
+        policy=study.EstimatorPolicy(engine="fleet", seed=args.seed),
     )
-    if args.json:
-        return _emit_json("fleet", result.as_dict())
+    return _answer(args, scenario)
 
-    summary = result.summary()
-    survival = result.survival_curve()
-    loss_by_year = result.loss_fraction_by_year()
-    cumulative_cost = result.cumulative_cost_per_member()
-    years = int(math.ceil(timeline.years))
-    step = max(1, years // 10)
-    checkpoints = list(range(0, years, step)) + [years]
-    rows = [
-        [
-            year,
-            survival[year],
-            loss_by_year[year - 1] if year else 0.0,
-            cumulative_cost[year - 1] if year else 0.0,
-        ]
-        for year in checkpoints
-    ]
-    parts = [
-        format_dict(
-            {
-                "timeline": timeline.label or "(unnamed)",
-                "members": summary["members"],
-                "years": summary["years"],
-                "epochs": summary["epochs"],
-                "migrations": summary["migrations"],
-                "losses": summary["losses"],
-                "surviving fraction": 1.0 - summary["loss_fraction"],
-                "loss fraction": summary["loss_fraction"],
-                "95% CI": (
-                    f"[{summary['loss_ci_low']:.3g}, "
-                    f"{summary['loss_ci_high']:.3g}]"
-                ),
-                "migration losses": summary["migration_losses"],
-                "shock events": summary["shock_events"],
-                "repairs": summary["repairs"],
-                "total cost per member ($)": summary["total_cost_per_member"],
-            },
-            title="fleet outcome",
-        ),
-        format_table(
-            ["year", "surviving", "cum. loss fraction", "cum. cost ($)"],
-            rows,
-            title="fleet trajectory",
-        ),
-        ascii_line_chart(
-            list(range(len(survival))),
-            list(survival),
-            title="survival curve: fraction of members alive vs year",
-        ),
-    ]
-    if cumulative_cost[-1] > 0:
-        parts.append(
-            ascii_line_chart(
-                list(range(1, len(cumulative_cost) + 1)),
-                list(cumulative_cost),
-                title="cumulative cost per member ($) vs year",
-            )
-        )
-    parts.append(
-        format_dict(
-            {
-                "chunks": summary["chunks"],
-                "new chunks": summary["new_chunks"],
-                "cache hits": summary["cache_hits"],
-            },
-            title="execution",
-        )
-    )
-    return "\n\n".join(parts)
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -552,6 +321,9 @@ def build_parser() -> argparse.ArgumentParser:
         "(Baker et al., EuroSys 2006 reproduction).",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+    model_parent = _model_parent()
+    stochastic_parent = _stochastic_parent()
+    json_parent = _json_parent()
 
     scenarios = subparsers.add_parser(
         "scenarios", help="print the paper's Section 5.4 worked examples"
@@ -559,27 +331,30 @@ def build_parser() -> argparse.ArgumentParser:
     scenarios.set_defaults(handler=_cmd_scenarios)
 
     mttdl = subparsers.add_parser(
-        "mttdl", help="evaluate the mirrored MTTDL for a parameter set"
+        "mttdl",
+        parents=[model_parent, json_parent],
+        help="evaluate the mirrored MTTDL for a parameter set",
     )
-    _add_model_arguments(mttdl)
     mttdl.add_argument("--mission-years", type=float, default=50.0,
                        help="mission length for the loss probability (default: 50)")
-    mttdl.add_argument("--json", action="store_true",
-                       help="emit machine-readable JSON instead of a table")
     mttdl.set_defaults(handler=_cmd_mttdl)
 
     sweep = subparsers.add_parser(
-        "sweep-audit", help="MTTDL as a function of the audit rate"
+        "sweep-audit",
+        parents=[model_parent, stochastic_parent, json_parent],
+        help="MTTDL as a function of the audit rate",
     )
-    _add_model_arguments(sweep)
     sweep.add_argument("--rates", nargs="+", default=["0", "1", "3", "12", "52"],
                        help="audit rates (per year) to evaluate")
-    sweep.add_argument("--json", action="store_true",
-                       help="emit machine-readable JSON instead of a table")
+    sweep.add_argument("--trials", type=int, default=0,
+                       help="attach a simulated MTTDL series with this many "
+                       "Monte-Carlo trials per rate (default: 0, analytic only)")
     sweep.set_defaults(handler=_cmd_sweep_audit)
 
     replication = subparsers.add_parser(
-        "replication", help="Eq. 12 MTTDL vs replication degree"
+        "replication",
+        parents=[json_parent],
+        help="Eq. 12 MTTDL vs replication degree",
     )
     replication.add_argument("--mv", type=float, default=1.4e6,
                              help="per-replica mean time to fault, hours")
@@ -589,23 +364,23 @@ def build_parser() -> argparse.ArgumentParser:
                              help="largest replication degree to evaluate")
     replication.add_argument("--alphas", nargs="+", default=["1.0", "0.1", "0.01"],
                              help="correlation factors to evaluate")
-    replication.add_argument("--json", action="store_true",
-                             help="emit machine-readable JSON instead of a table")
     replication.set_defaults(handler=_cmd_replication)
 
     validate = subparsers.add_parser(
-        "validate", help="compare the closed forms against the Markov chain"
+        "validate",
+        parents=[model_parent, json_parent],
+        help="compare the closed forms against the Markov chain",
     )
-    _add_model_arguments(validate)
     validate.set_defaults(handler=_cmd_validate)
 
     simulate = subparsers.add_parser(
         "simulate",
+        parents=[model_parent, stochastic_parent, json_parent],
         help="Monte-Carlo estimate of the MTTDL or mission loss probability",
     )
-    _add_model_arguments(simulate)
     simulate.add_argument("--backend", choices=["event", "batch"], default="batch",
-                          help="simulation backend (default: batch, vectorized)")
+                          help="simulation backend for --method standard "
+                          "(default: batch, vectorized)")
     simulate.add_argument("--metric", choices=["mttdl", "loss"], default="mttdl",
                           help="quantity to estimate (default: mttdl)")
     simulate.add_argument("--method",
@@ -620,8 +395,6 @@ def build_parser() -> argparse.ArgumentParser:
                           "sampling (default: chosen automatically)")
     simulate.add_argument("--trials", type=int, default=1000,
                           help="Monte-Carlo trials, per chunk when adaptive (default: 1000)")
-    simulate.add_argument("--seed", type=int, default=0,
-                          help="root random seed (default: 0)")
     simulate.add_argument("--replicas", type=int, default=2,
                           help="replication degree (default: 2)")
     simulate.add_argument("--mission-years", type=float, default=50.0,
@@ -633,12 +406,11 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--target-relative-error", type=float, default=None,
                           help="adaptive sampling: extend until std error / mean "
                           "falls below this fraction")
-    simulate.add_argument("--json", action="store_true",
-                          help="emit machine-readable JSON instead of a table")
     simulate.set_defaults(handler=_cmd_simulate)
 
     optimize_parser = subparsers.add_parser(
         "optimize",
+        parents=[stochastic_parent, json_parent],
         help="search a design space for the cost-reliability Pareto frontier",
     )
     optimize_parser.add_argument("--budget", type=float, default=None,
@@ -676,11 +448,6 @@ def build_parser() -> argparse.ArgumentParser:
                                  "switches high-reliability candidates to "
                                  "importance sampling instead of returning "
                                  "zero-loss rule-of-three bounds")
-    optimize_parser.add_argument("--seed", type=int, default=0,
-                                 help="root random seed (default: 0)")
-    optimize_parser.add_argument("--jobs", type=int, default=1,
-                                 help="worker processes for the refinement stage "
-                                 "(default: 1, serial)")
     optimize_parser.add_argument("--slack", type=float, default=4.0,
                                  help="screening slack: prune a candidate when a "
                                  "no-more-expensive one screens this many times "
@@ -688,12 +455,11 @@ def build_parser() -> argparse.ArgumentParser:
     optimize_parser.add_argument("--cache-dir", default=None,
                                  help="directory for the content-hash result cache "
                                  "(default: no cache)")
-    optimize_parser.add_argument("--json", action="store_true",
-                                 help="emit machine-readable JSON instead of a table")
     optimize_parser.set_defaults(handler=_cmd_optimize)
 
     fleet = subparsers.add_parser(
         "fleet",
+        parents=[stochastic_parent, json_parent],
         help="simulate an archive fleet over a decades-scale timeline "
         "(generation refreshes, migrations, aging, correlated shocks)",
     )
@@ -718,18 +484,11 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--audits-per-year", type=float, default=12.0,
                        help="audit rate of the default timeline "
                        "(default: 12)")
-    fleet.add_argument("--seed", type=int, default=0,
-                       help="root random seed (default: 0)")
-    fleet.add_argument("--jobs", type=int, default=1,
-                       help="worker processes for chunked execution "
-                       "(default: 1, serial)")
     fleet.add_argument("--chunk-size", type=int, default=1000,
                        help="members per chunk (default: 1000)")
     fleet.add_argument("--cache-dir", default=None,
                        help="directory for the chunk tally cache "
                        "(default: no cache)")
-    fleet.add_argument("--json", action="store_true",
-                       help="emit machine-readable JSON instead of tables")
     fleet.set_defaults(handler=_cmd_fleet)
 
     return parser

@@ -37,9 +37,15 @@ from repro.core.parameters import FaultModel
 from repro.core.probability import probability_of_loss
 from repro.core.units import years_to_hours
 from repro.optimize.space import CandidateDesign
+from repro.simulation.estimators import check_method, zero_loss_ci_high
 from repro.simulation.monte_carlo import estimate_loss_probability
-from repro.simulation.rare_event import RULE_OF_THREE, analytic_loss_rate
+from repro.simulation.rare_event import analytic_loss_rate
 from repro.simulation.rng import spawn_seed
+
+#: Methods the refinement stage supports (no splitting path: refinement
+#: always simulates plain ``FaultModel`` candidates on the batch
+#: machinery, where importance sampling dominates splitting).
+REFINEMENT_METHODS = ("standard", "is", "auto")
 
 #: Multiplicative slack applied to the simulated CI when judging screen
 #: agreement.  The screen is a first-order analytic approximation;
@@ -90,11 +96,7 @@ class EvaluationSettings:
             raise ValueError("trials must be positive")
         if self.seed < 0:
             raise ValueError("seed must be non-negative")
-        if self.method not in ("standard", "is", "auto"):
-            raise ValueError(
-                "method must be 'standard', 'is' or 'auto', got "
-                f"{self.method!r}"
-            )
+        check_method(self.method, allowed=REFINEMENT_METHODS)
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -327,7 +329,7 @@ def refine(
     )
     low, high = estimate.confidence_interval()
     if estimate.losses == 0:
-        high = min(1.0, RULE_OF_THREE / estimate.trials)
+        high = zero_loss_ci_high(estimate.trials)
     simulated = SimulatedLoss(
         mean=estimate.mean,
         std_error=estimate.std_error,

@@ -4,6 +4,20 @@ Runs many independent simulated systems and aggregates the results into
 MTTDL estimates (with confidence intervals), mission loss probabilities,
 and double-fault combination statistics (experiment E10).
 
+.. note::
+   :func:`estimate_mttdl` and :func:`estimate_loss_probability` are the
+   historical entry points and remain fully supported, but new code
+   should pose reliability questions through the unified facade,
+   :func:`repro.study.run` — a declarative
+   :class:`~repro.study.Scenario` in, a schema-versioned
+   :class:`~repro.study.StudyResult` out.  Both functions are now thin
+   shims: when a call is expressible as a scenario they delegate to the
+   facade (bit-for-bit identical numbers at a fixed seed — the
+   estimation loops themselves live in
+   :mod:`repro.simulation.estimators` and are shared); calls the
+   declarative layer cannot express (custom :data:`SystemFactory`
+   systems) run the shared loops directly.
+
 Backends
 --------
 
@@ -70,236 +84,104 @@ observed loss count signals weight degeneracy.
 
 from __future__ import annotations
 
-import math
-import warnings
-from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.core.faults import FaultType
 from repro.core.parameters import FaultModel
 from repro.core.units import HOURS_PER_YEAR
 from repro.simulation.batch import simulate_batch
-from repro.simulation.rng import RandomStreams
-from repro.simulation.system import (
-    ReplicatedStorageSystem,
-    RunResult,
-    system_from_fault_model,
+from repro.simulation.estimators import (
+    AUTO_MIN_LOSSES,
+    CENSORED_WARNING_FRACTION,
+    DEFAULT_ADAPTIVE_CHUNK_LIMIT,
+    HighCensoringWarning,
+    MonteCarloEstimate,
+    SystemFactory,
+    check_backend,
+    default_factory,
+    run_loss_probability,
+    run_mttdl,
 )
+from repro.simulation.rng import RandomStreams
+from repro.simulation.system import RunResult, system_from_fault_model
 
-SystemFactory = Callable[[RandomStreams], ReplicatedStorageSystem]
+__all__ = [
+    "AUTO_MIN_LOSSES",
+    "CENSORED_WARNING_FRACTION",
+    "DEFAULT_ADAPTIVE_CHUNK_LIMIT",
+    "HighCensoringWarning",
+    "MonteCarloEstimate",
+    "SystemFactory",
+    "estimate_mttdl",
+    "estimate_loss_probability",
+    "double_fault_combination_counts",
+    "run_single_trace",
+]
 
-#: Fraction of censored trials above which a warning is emitted.
-CENSORED_WARNING_FRACTION = 0.2
-
-#: Default cap on adaptive sampling, as a multiple of the initial chunk.
-DEFAULT_ADAPTIVE_CHUNK_LIMIT = 64
-
-#: ``method="auto"``: a loss-probability pilot with fewer observed
-#: losses than this switches to a rare-event method (at 20 losses the
-#: standard binomial relative error is still ~22%).
-AUTO_MIN_LOSSES = 20
-
-_METHODS = ("standard", "is", "splitting", "auto")
-
-_UNSET = object()
-
-
-class HighCensoringWarning(UserWarning):
-    """More than 20% of MTTDL trials were censored at the horizon.
-
-    The censoring-correct MLE stays unbiased, but its confidence
-    interval widens sharply; extend the horizon or the trial count.
-    """
+# Historical private aliases, kept for callers that imported the
+# pre-extraction names (e.g. repro.simulation.lifetime).
+_default_factory = default_factory
+_check_backend = check_backend
 
 
-@dataclass(frozen=True)
-class MonteCarloEstimate:
-    """Aggregated estimate from repeated simulation trials.
-
-    Attributes:
-        mean: the estimated quantity (``inf`` for an MTTDL run that
-            observed no losses at all).
-        std_error: standard error of the estimate.
-        trials: number of trials contributing.
-        censored: how many trials were censored (data survived to the
-            horizon) when estimating a time-to-loss.
-        clamp_lo: default lower clamp applied by
-            :meth:`confidence_interval` (physical quantities like times
-            and probabilities cannot be negative).
-        clamp_hi: default upper clamp (1.0 for probabilities).
-        method: how the estimate was produced (``"standard"``, ``"is"``
-            or ``"splitting"`` — an ``"auto"`` run records what it
-            resolved to).
-        effective_sample_size: Kish effective sample size of the
-            importance weights behind a weighted estimate; ``None`` for
-            unweighted methods.
-    """
-
-    mean: float
-    std_error: float
-    trials: int
-    censored: int = 0
-    clamp_lo: Optional[float] = 0.0
-    clamp_hi: Optional[float] = None
-    method: str = "standard"
-    effective_sample_size: Optional[float] = None
-
-    def confidence_interval(
-        self, z: float = 1.96, lo: object = _UNSET, hi: object = _UNSET
-    ) -> Tuple[float, float]:
-        """Normal-approximation confidence interval (default 95%).
-
-        The interval is clamped to ``[lo, hi]``; the bounds default to
-        the estimate's own ``clamp_lo`` / ``clamp_hi`` (pass ``None``
-        explicitly to disable clamping on one side).
-        """
-        lo_bound = self.clamp_lo if lo is _UNSET else lo
-        hi_bound = self.clamp_hi if hi is _UNSET else hi
-        if math.isfinite(self.mean) and math.isfinite(self.std_error):
-            low = self.mean - z * self.std_error
-            high = self.mean + z * self.std_error
-        else:
-            low, high = -math.inf, math.inf
-        if lo_bound is not None:
-            low = max(low, lo_bound)
-            high = max(high, lo_bound)
-        if hi_bound is not None:
-            high = min(high, hi_bound)
-            low = min(low, hi_bound)
-        return (low, high)
-
-    @property
-    def relative_error(self) -> float:
-        """Standard error as a fraction of the mean.
-
-        A zero mean (no observed losses) returns ``inf``, never 0: the
-        estimate carries no information about its own precision, and
-        reading it as "perfectly converged" would terminate adaptive
-        sampling the moment a rare-event run starts.
-        """
-        if self.mean == 0:
-            return math.inf
-        if not math.isfinite(self.mean):
-            return math.inf
-        return self.std_error / abs(self.mean)
-
-    @property
-    def losses(self) -> int:
-        """Trials that actually observed a loss."""
-        return self.trials - self.censored
-
-
-def _default_factory(
-    model: FaultModel, replicas: int, audits_per_year: Optional[float]
-) -> SystemFactory:
-    def factory(streams: RandomStreams) -> ReplicatedStorageSystem:
-        return system_from_fault_model(
-            model, replicas=replicas, streams=streams, audits_per_year=audits_per_year
-        )
-
-    return factory
-
-
-def _check_backend(backend: str, factory: Optional[SystemFactory]) -> None:
-    if backend not in ("event", "batch"):
-        raise ValueError(f"unknown backend {backend!r}; expected 'event' or 'batch'")
-    if backend == "batch" and factory is not None:
-        raise ValueError(
-            "the batch backend simulates FaultModel-derived systems only; "
-            "use backend='event' with a custom factory"
-        )
-
-
-def _check_method(method: str, factory: Optional[SystemFactory]) -> None:
-    if method not in _METHODS:
-        raise ValueError(
-            f"unknown method {method!r}; expected one of {_METHODS}"
-        )
-    if method == "is" and factory is not None:
-        raise ValueError(
-            "importance sampling runs on the batch machinery and needs a "
-            "FaultModel; use method='splitting' for custom factories"
-        )
-
-
-def _adaptive_cap(trials: int, max_trials: Optional[int]) -> int:
-    if max_trials is None:
-        return trials * DEFAULT_ADAPTIVE_CHUNK_LIMIT
-    if max_trials < trials:
-        raise ValueError("max_trials must be at least the initial trial count")
-    return max_trials
-
-
-def _mttdl_estimate(
-    total_time: float, losses: int, trials: int
-) -> MonteCarloEstimate:
-    """Censoring-correct exponential MLE: total observed time / losses.
-
-    For an exponential time-to-loss with right censoring, the MLE of the
-    mean is the total time on test divided by the number of observed
-    losses; its standard error is ``mean / sqrt(losses)``.
-    """
-    censored = trials - losses
-    if trials > 0 and censored / trials > CENSORED_WARNING_FRACTION:
-        warnings.warn(
-            f"{censored} of {trials} trials were censored at the horizon "
-            f"({censored / trials:.0%}); the MLE stays unbiased but its "
-            "confidence interval is wide — extend max_time or trials",
-            HighCensoringWarning,
-            stacklevel=3,
-        )
-    if losses == 0:
-        return MonteCarloEstimate(
-            mean=math.inf, std_error=math.inf, trials=trials, censored=censored
-        )
-    mean = total_time / losses
-    return MonteCarloEstimate(
-        mean=mean,
-        std_error=mean / math.sqrt(losses),
-        trials=trials,
-        censored=censored,
-    )
-
-
-def _is_loss_tally(
-    model: FaultModel,
+def _delegate_to_study(
+    question: str,
+    model: Optional[FaultModel],
+    factory: Optional[SystemFactory],
+    backend: str,
+    method: str,
     trials: int,
-    horizon: float,
     seed: int,
     replicas: int,
     audits_per_year: Optional[float],
-    bias: Optional[float],
     target_relative_error: Optional[float],
-    cap: int,
-):
-    """Run adaptive importance-sampled batch chunks into a tally."""
-    from repro.simulation import rare_event
+    max_trials: Optional[int],
+    bias: Optional[float],
+    mission_time: Optional[float] = None,
+    max_time: Optional[float] = None,
+) -> Optional[MonteCarloEstimate]:
+    """Route a legacy call through :func:`repro.study.run` when possible.
 
-    if bias is None:
-        bias = rare_event.default_failure_bias(model, replicas, horizon)
-    tally = rare_event.WeightedLossTally()
-    chunk = 0
-    while tally.trials < cap:
-        if tally.trials and (
-            target_relative_error is None
-            or tally.relative_error <= target_relative_error
-        ):
-            break
-        chunk_trials = min(trials, cap - tally.trials) if tally.trials else trials
-        tally.add(
-            simulate_batch(
-                model,
-                trials=chunk_trials,
-                horizon=horizon,
-                seed=seed,
-                replicas=replicas,
-                audits_per_year=audits_per_year,
-                chunk=chunk,
-                bias=bias,
-            )
-        )
-        chunk += 1
-    return tally
+    Returns ``None`` when the call is not expressible as a declarative
+    scenario — a custom factory, an invalid parameter combination (the
+    shared loops raise the canonical error), a backend/method pair
+    with no engine equivalent (``backend="event"`` with
+    ``method="auto"`` pilots on the event loop, which the single-axis
+    engine vocabulary deliberately does not encode), or a mission time
+    whose hours→years→hours conversion would not round-trip exactly
+    (scenarios speak years; losing even one ulp of the horizon could
+    flip a censoring decision and break bit-for-bit reproduction).
+    """
+    if model is None or factory is not None or trials <= 0:
+        return None
+    mission_years = 50.0
+    if mission_time is not None:
+        mission_years = mission_time / HOURS_PER_YEAR
+        if mission_years * HOURS_PER_YEAR != mission_time:
+            return None
+    from repro import study
+
+    engine = study.engine_for(backend, method)
+    if engine is None or (question == "mttdl" and engine == "splitting"):
+        return None
+    scenario = study.Scenario(
+        question=question,
+        system=study.SystemSpec(
+            model=model, replicas=replicas, audits_per_year=audits_per_year
+        ),
+        mission_years=mission_years,
+        max_time_hours=max_time,
+        policy=study.EstimatorPolicy(
+            engine=engine,
+            trials=trials,
+            max_trials=max_trials,
+            target_relative_error=target_relative_error,
+            seed=seed,
+            bias=bias,
+            cross_check=False,
+        ),
+    )
+    return study.run(scenario).estimate()
 
 
 def estimate_mttdl(
@@ -345,176 +227,45 @@ def estimate_mttdl(
     MTTDL method (it estimates mission loss probabilities); request it
     via :func:`estimate_loss_probability`.
 
+    .. deprecated:: 1.1
+       Prefer :func:`repro.study.run` with a ``question="mttdl"``
+       scenario; this shim delegates to it when the call is expressible.
+
     Raises:
         ValueError: if neither a model nor a factory is given, trials is
             not positive, or the backend/factory/method combination is
             invalid.
     """
-    if trials <= 0:
-        raise ValueError("trials must be positive")
-    _check_backend(backend, factory)
-    _check_method(method, factory)
-    if method == "splitting":
-        raise ValueError(
-            "splitting estimates mission loss probabilities; use "
-            "estimate_loss_probability or method='is' for the MTTDL"
-        )
-    if method == "is" and model is None:
-        raise ValueError("method='is' needs a FaultModel")
-    custom_factory = factory
-    if factory is None:
-        if model is None:
-            raise ValueError("either model or factory must be provided")
-        if backend == "event":
-            factory = _default_factory(model, replicas, audits_per_year)
-    if max_time is None:
-        if model is not None:
-            # A horizon long enough that censoring is rare: many multiples
-            # of the mean time between any faults times a replication
-            # safety factor.
-            max_time = 1000.0 * model.mean_time_to_visible
-        else:
-            max_time = 1e9
-
-    cap = _adaptive_cap(trials, max_trials)
-    total_time = 0.0
-    losses = 0
-    done = 0
-    chunk = 0
-    root = RandomStreams(seed=seed)
-    use_is = method == "is"
-    while not use_is and done < cap:
-        if done and (
-            target_relative_error is None
-            # The MLE's relative error is exactly 1 / sqrt(losses).
-            or (
-                losses > 0
-                and 1.0 / math.sqrt(losses) <= target_relative_error
-            )
-        ):
-            break
-        # The final adaptive chunk is clamped so max_trials is a hard
-        # cap, not "the last multiple of trials past the cap".
-        chunk_trials = min(trials, cap - done) if done else trials
-        if backend == "batch":
-            result = simulate_batch(
-                model,
-                trials=chunk_trials,
-                horizon=max_time,
-                seed=seed,
-                replicas=replicas,
-                audits_per_year=audits_per_year,
-                chunk=chunk,
-            )
-            total_time += result.total_observed_time
-            losses += result.losses
-        else:
-            for trial in range(done, done + chunk_trials):
-                outcome = factory(root.spawn(trial)).run(max_time=max_time)
-                total_time += outcome.end_time
-                if outcome.lost:
-                    losses += 1
-        done += chunk_trials
-        chunk += 1
-        if (
-            method == "auto"
-            and chunk == 1
-            and model is not None
-            and custom_factory is None
-            and (done - losses) / done > CENSORED_WARNING_FRACTION
-            and not (
-                target_relative_error is not None
-                and losses > 0
-                and 1.0 / math.sqrt(losses) <= target_relative_error
-            )
-        ):
-            # The *pilot* censored too heavily to be informative (and
-            # did not converge anyway): discard it and restart with
-            # importance sampling.  Later chunks never re-trigger the
-            # switch — adaptive extension is already doing its job — and
-            # a custom factory cannot switch (IS on the bare model would
-            # estimate a different system).
-            use_is = True
-    if use_is:
-        from repro.simulation import rare_event
-
-        tally = _is_loss_tally(
-            model,
-            trials=trials,
-            horizon=max_time,
-            seed=seed,
-            replicas=replicas,
-            audits_per_year=audits_per_year,
-            bias=bias,
-            target_relative_error=target_relative_error,
-            cap=cap,
-        )
-        return rare_event.mttdl_from_loss_probability(
-            tally.loss_estimate(), max_time
-        )
-    return _mttdl_estimate(total_time, losses, done)
-
-
-def _splitting_estimate(
-    model: Optional[FaultModel],
-    factory: Optional[SystemFactory],
-    mission_time: float,
-    trials: int,
-    seed: int,
-    replicas: int,
-    audits_per_year: Optional[float],
-    target_relative_error: Optional[float],
-    cap: int,
-) -> MonteCarloEstimate:
-    """Adaptive chunks of fixed-effort multilevel-splitting passes.
-
-    Each chunk is one independent splitting replication (``trials``
-    systems per level); replications pool by averaging, so the combined
-    estimate stays unbiased and its standard error shrinks as
-    ``1 / sqrt(chunks)``.
-    """
-    from repro.simulation import rare_event
-
-    means = []
-    errors = []
-    done = 0
-    losses = 0
-    chunk = 0
-    while done < cap:
-        if chunk and (
-            target_relative_error is None
-            or (
-                sum(means)
-                and math.sqrt(sum(e * e for e in errors))
-                / max(sum(means), 1e-300)
-                <= target_relative_error
-            )
-        ):
-            break
-        run = rare_event.splitting_loss_probability(
-            model=model,
-            mission_time=mission_time,
-            trials_per_level=trials,
-            seed=seed,
-            replicas=replicas,
-            audits_per_year=audits_per_year,
-            factory=factory,
-            chunk=chunk,
-        )
-        means.append(run.mean)
-        errors.append(run.std_error)
-        done += run.trials
-        losses += run.losses
-        chunk += 1
-    mean = sum(means) / chunk
-    std_error = math.sqrt(sum(e * e for e in errors)) / chunk
-    return MonteCarloEstimate(
-        mean=mean,
-        std_error=std_error,
-        trials=done,
-        censored=done - losses,
-        clamp_hi=1.0,
-        method="splitting",
+    delegated = _delegate_to_study(
+        "mttdl",
+        model,
+        factory,
+        backend,
+        method,
+        trials,
+        seed,
+        replicas,
+        audits_per_year,
+        target_relative_error,
+        max_trials,
+        bias,
+        max_time=max_time,
+    )
+    if delegated is not None:
+        return delegated
+    return run_mttdl(
+        model=model,
+        trials=trials,
+        seed=seed,
+        max_time=max_time,
+        replicas=replicas,
+        audits_per_year=audits_per_year,
+        factory=factory,
+        backend=backend,
+        target_relative_error=target_relative_error,
+        max_trials=max_trials,
+        method=method,
+        bias=bias,
     )
 
 
@@ -548,115 +299,44 @@ def estimate_loss_probability(
     and ``"auto"`` pilots a standard chunk first, switching to IS
     (model runs) or splitting (factory runs) when fewer than
     :data:`AUTO_MIN_LOSSES` losses were observed.
+
+    .. deprecated:: 1.1
+       Prefer :func:`repro.study.run` with a
+       ``question="loss_probability"`` scenario; this shim delegates to
+       it when the call is expressible.
     """
-    if trials <= 0:
-        raise ValueError("trials must be positive")
     if mission_time <= 0:
         raise ValueError("mission_time must be positive")
-    _check_backend(backend, factory)
-    _check_method(method, factory)
-    if method == "is" and model is None:
-        raise ValueError("method='is' needs a FaultModel")
-    custom_factory = factory
-    if factory is None:
-        if model is None:
-            raise ValueError("either model or factory must be provided")
-        if backend == "event":
-            factory = _default_factory(model, replicas, audits_per_year)
-
-    cap = _adaptive_cap(trials, max_trials)
-    if method == "splitting":
-        return _splitting_estimate(
-            model if custom_factory is None else None,
-            custom_factory,
-            mission_time,
-            trials,
-            seed,
-            replicas,
-            audits_per_year,
-            target_relative_error,
-            cap,
-        )
-    losses = 0
-    done = 0
-    chunk = 0
-    root = RandomStreams(seed=seed)
-    use_is = method == "is"
-    use_splitting = False
-    while not use_is and not use_splitting and done < cap:
-        if done and (
-            target_relative_error is None
-            or (
-                losses > 0
-                and math.sqrt((1.0 - losses / done) / losses)
-                <= target_relative_error
-            )
-        ):
-            break
-        chunk_trials = min(trials, cap - done) if done else trials
-        if backend == "batch":
-            result = simulate_batch(
-                model,
-                trials=chunk_trials,
-                horizon=mission_time,
-                seed=seed,
-                replicas=replicas,
-                audits_per_year=audits_per_year,
-                chunk=chunk,
-            )
-            losses += result.losses
-        else:
-            for trial in range(done, done + chunk_trials):
-                outcome = factory(root.spawn(trial)).run(max_time=mission_time)
-                if outcome.lost:
-                    losses += 1
-        done += chunk_trials
-        chunk += 1
-        if method == "auto" and losses < AUTO_MIN_LOSSES:
-            # Too few losses for a meaningful CI: discard the pilot and
-            # switch to a rare-event method — importance sampling when
-            # the pilot simulated a plain FaultModel, splitting when a
-            # custom factory did (IS on the bare model would silently
-            # estimate a different system than the factory builds).
-            if custom_factory is None:
-                use_is = True
-            else:
-                use_splitting = True
-    if use_is:
-        tally = _is_loss_tally(
-            model,
-            trials=trials,
-            horizon=mission_time,
-            seed=seed,
-            replicas=replicas,
-            audits_per_year=audits_per_year,
-            bias=bias,
-            target_relative_error=target_relative_error,
-            cap=cap,
-        )
-        return tally.loss_estimate()
-    if use_splitting:
-        return _splitting_estimate(
-            None,
-            custom_factory,
-            mission_time,
-            trials,
-            seed,
-            replicas,
-            audits_per_year,
-            target_relative_error,
-            cap,
-        )
-    p = losses / done
-    std_error = math.sqrt(max(p * (1.0 - p), 1e-12) / done)
-    return MonteCarloEstimate(
-        mean=p,
-        std_error=std_error,
-        trials=done,
-        # Surviving trials are censored-at-mission-end observations, so
-        # the ``losses`` property stays meaningful for this estimator.
-        censored=done - losses,
-        clamp_hi=1.0,
+    delegated = _delegate_to_study(
+        "loss_probability",
+        model,
+        factory,
+        backend,
+        method,
+        trials,
+        seed,
+        replicas,
+        audits_per_year,
+        target_relative_error,
+        max_trials,
+        bias,
+        mission_time=mission_time,
+    )
+    if delegated is not None:
+        return delegated
+    return run_loss_probability(
+        model=model,
+        mission_time=mission_time,
+        trials=trials,
+        seed=seed,
+        replicas=replicas,
+        audits_per_year=audits_per_year,
+        factory=factory,
+        backend=backend,
+        target_relative_error=target_relative_error,
+        max_trials=max_trials,
+        method=method,
+        bias=bias,
     )
 
 
@@ -679,7 +359,7 @@ def double_fault_combination_counts(
     """
     if trials <= 0:
         raise ValueError("trials must be positive")
-    _check_backend(backend, None)
+    check_backend(backend, None)
     if max_time is None:
         max_time = 1000.0 * model.mean_time_to_visible
     if backend == "batch":

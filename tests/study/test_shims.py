@@ -1,0 +1,206 @@
+"""Deprecation shims delegate to ``study.run`` with identical numbers.
+
+The acceptance bar for the facade refactor: at a fixed seed, the legacy
+entry points (``estimate_mttdl`` / ``estimate_loss_probability`` / the
+simulated sweeps) reproduce their pre-refactor values bit-for-bit —
+which, post-refactor, means "exactly what the shared loops in
+:mod:`repro.simulation.estimators` produce" and "exactly what the
+facade produces for the equivalent scenario".
+"""
+
+import pytest
+
+from repro.analysis.sweep import (
+    simulated_audit_sweep,
+    simulated_parameter_sweep,
+)
+from repro.core.parameters import FaultModel
+from repro.core.units import HOURS_PER_YEAR
+from repro.simulation.estimators import run_loss_probability, run_mttdl
+from repro.simulation.monte_carlo import (
+    estimate_loss_probability,
+    estimate_mttdl,
+)
+from repro.simulation.rng import RandomStreams
+from repro.simulation.system import system_from_fault_model
+from repro.study import EstimatorPolicy, Scenario, SweepSpec, SystemSpec, run
+
+MODEL = FaultModel(500.0, 100.0, 1.0, 1.0, 5.0, 1.0)
+
+# Every legacy (backend, method) combination with an engine equivalent.
+COMBOS = [
+    ("batch", "standard"),
+    ("event", "standard"),
+    ("batch", "auto"),
+    ("batch", "is"),
+]
+
+
+class TestEstimateMttdlShim:
+    @pytest.mark.parametrize("backend,method", COMBOS)
+    def test_matches_the_shared_loop_bit_for_bit(self, backend, method):
+        kwargs = dict(
+            trials=150, seed=7, max_time=1e5, replicas=2, backend=backend,
+            method=method,
+        )
+        shim = estimate_mttdl(MODEL, **kwargs)
+        loop = run_mttdl(model=MODEL, **kwargs)
+        assert shim == loop
+
+    def test_matches_the_facade_bit_for_bit(self):
+        shim = estimate_mttdl(
+            MODEL, trials=150, seed=7, max_time=1e5, backend="batch",
+            method="auto",
+        )
+        facade = run(
+            Scenario(
+                question="mttdl",
+                system=SystemSpec(model=MODEL),
+                max_time_hours=1e5,
+                policy=EstimatorPolicy(
+                    engine="auto", trials=150, seed=7, cross_check=False
+                ),
+            )
+        )
+        assert shim.mean == facade.value
+        assert shim.std_error == facade.std_error
+        assert shim.trials == facade.trials
+        assert shim.censored == facade.censored
+        assert shim.method == facade.method
+
+    def test_event_auto_combination_still_works(self):
+        # The one grid point without an engine equivalent falls back to
+        # the shared loop directly (event-backend auto piloting).
+        estimate = estimate_mttdl(
+            MODEL, trials=100, seed=1, max_time=1e5, backend="event",
+            method="auto",
+        )
+        loop = run_mttdl(
+            model=MODEL, trials=100, seed=1, max_time=1e5, backend="event",
+            method="auto",
+        )
+        assert estimate == loop
+
+    def test_factory_calls_bypass_the_facade(self):
+        def factory(streams: RandomStreams):
+            return system_from_fault_model(MODEL, replicas=2, streams=streams)
+
+        estimate = estimate_mttdl(
+            factory=factory, trials=50, seed=3, max_time=1e5
+        )
+        loop = run_mttdl(factory=factory, trials=50, seed=3, max_time=1e5)
+        assert estimate == loop
+
+    def test_invalid_arguments_raise_the_canonical_errors(self):
+        with pytest.raises(ValueError, match="trials"):
+            estimate_mttdl(MODEL, trials=0)
+        with pytest.raises(ValueError, match="backend"):
+            estimate_mttdl(MODEL, backend="gpu")
+        with pytest.raises(ValueError, match="method"):
+            estimate_mttdl(MODEL, method="psychic")
+        with pytest.raises(ValueError, match="splitting"):
+            estimate_mttdl(MODEL, method="splitting")
+
+
+class TestEstimateLossProbabilityShim:
+    @pytest.mark.parametrize("backend,method", COMBOS)
+    def test_matches_the_shared_loop_bit_for_bit(self, backend, method):
+        kwargs = dict(
+            mission_time=HOURS_PER_YEAR, trials=150, seed=5, replicas=2,
+            backend=backend, method=method,
+        )
+        shim = estimate_loss_probability(MODEL, **kwargs)
+        loop = run_loss_probability(model=MODEL, **kwargs)
+        assert shim == loop
+
+    def test_non_roundtripping_mission_time_still_matches(self):
+        # A mission time whose hours->years->hours conversion loses a
+        # ulp cannot delegate through the (years-denominated) scenario;
+        # the shim must fall back to the shared loop with the horizon
+        # untouched, bit-for-bit.
+        mission_time = next(
+            m
+            for m in (10000.0 + 0.1 * k for k in range(1, 1000))
+            if (m / HOURS_PER_YEAR) * HOURS_PER_YEAR != m
+        )
+        kwargs = dict(
+            mission_time=mission_time, trials=100, seed=4, backend="batch",
+            method="standard",
+        )
+        shim = estimate_loss_probability(MODEL, **kwargs)
+        loop = run_loss_probability(model=MODEL, **kwargs)
+        assert shim == loop
+
+    def test_splitting_matches_the_shared_loop(self):
+        kwargs = dict(
+            mission_time=HOURS_PER_YEAR / 100.0, trials=60, seed=5,
+            backend="event", method="splitting",
+        )
+        shim = estimate_loss_probability(MODEL, **kwargs)
+        loop = run_loss_probability(model=MODEL, **kwargs)
+        assert shim == loop
+
+    def test_matches_the_facade_bit_for_bit(self):
+        shim = estimate_loss_probability(
+            MODEL, mission_time=HOURS_PER_YEAR, trials=150, seed=5,
+            backend="batch", method="auto",
+        )
+        facade = run(
+            Scenario(
+                question="loss_probability",
+                system=SystemSpec(model=MODEL),
+                mission_years=1.0,
+                policy=EstimatorPolicy(
+                    engine="auto", trials=150, seed=5, cross_check=False
+                ),
+            )
+        )
+        assert shim.mean == facade.value
+        assert shim.std_error == facade.std_error
+        assert shim.method == facade.method
+        assert shim.effective_sample_size == facade.effective_sample_size
+
+
+class TestSweepShims:
+    def test_parameter_sweep_matches_the_facade(self):
+        legacy = simulated_parameter_sweep(
+            MODEL, "MDL", [5.0, 50.0], trials=120, seed=2, backend="batch",
+        )
+        facade = run(
+            Scenario(
+                question="sweep",
+                system=SystemSpec(model=MODEL),
+                sweep=SweepSpec(parameter="MDL", values=(5.0, 50.0)),
+                policy=EstimatorPolicy(
+                    engine="batch", trials=120, seed=2, cross_check=False
+                ),
+            )
+        )
+        assert legacy.metrics == facade.details["metrics"]
+        assert legacy.values == facade.details["values"]
+
+    def test_audit_sweep_matches_the_facade(self):
+        legacy = simulated_audit_sweep(
+            MODEL, [0.0, 12.0], trials=120, seed=2, backend="batch",
+        )
+        facade = run(
+            Scenario(
+                question="sweep",
+                system=SystemSpec(model=MODEL),
+                sweep=SweepSpec(
+                    parameter="audits_per_year", values=(0.0, 12.0)
+                ),
+                policy=EstimatorPolicy(
+                    engine="batch", trials=120, seed=2, cross_check=False
+                ),
+            )
+        )
+        assert legacy.metrics == facade.details["metrics"]
+
+    def test_sweep_shims_keep_their_legacy_errors(self):
+        with pytest.raises(ValueError, match="unknown parameter"):
+            simulated_parameter_sweep(MODEL, "warp", [1.0])
+        with pytest.raises(ValueError, match="unknown metric"):
+            simulated_parameter_sweep(MODEL, "MDL", [1.0], metric="vibes")
+        with pytest.raises(ValueError, match="unknown backend"):
+            simulated_audit_sweep(MODEL, [0.0], backend="gpu")

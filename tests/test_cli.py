@@ -1,10 +1,25 @@
-"""Tests for the repro-storage command-line interface."""
+"""Tests for the repro-storage command-line interface.
+
+Every sub-command is a thin adapter over ``repro.study``; ``--json``
+emits the uniform ``{"command", "schema", "scenario", "result"}``
+envelope.  ``wall_time_seconds`` is the one legitimately
+non-deterministic result field, so payload-equality assertions compare
+modulo it.
+"""
 
 import json
 
 import pytest
 
 from repro.cli import build_parser, main
+from repro.study import CLI_JSON_SCHEMA_VERSION, SCHEMA_VERSION
+
+
+def _without_wall_time(payload):
+    """Drop the only non-deterministic field from a JSON envelope."""
+    clone = json.loads(json.dumps(payload))
+    clone["result"].pop("wall_time_seconds", None)
+    return clone
 
 
 class TestParser:
@@ -65,9 +80,38 @@ class TestParser:
 
     def test_json_flags_parse(self):
         for command in (["mttdl"], ["simulate"], ["replication"],
-                        ["optimize", "--budget", "1"]):
+                        ["validate"], ["optimize", "--budget", "1"]):
             args = build_parser().parse_args(command + ["--json"])
             assert args.json
+
+    def test_seed_and_jobs_accepted_by_every_stochastic_subcommand(self):
+        # One shared parent parser: identical flags, defaults and help
+        # on simulate / optimize / fleet / sweep-audit.
+        for command in (["simulate"], ["optimize", "--budget", "1"],
+                        ["fleet"], ["sweep-audit"]):
+            args = build_parser().parse_args(
+                command + ["--seed", "7", "--jobs", "3"]
+            )
+            assert args.seed == 7
+            assert args.jobs == 3
+
+    def test_negative_seed_is_a_uniform_error(self, capsys):
+        for command in (
+            ["simulate", "--trials", "10"],
+            ["optimize", "--budget", "1"],
+            ["fleet", "--members", "10"],
+            ["sweep-audit", "--trials", "10"],
+        ):
+            assert main(command + ["--seed", "-1"]) == 2
+            assert "seed must be non-negative" in capsys.readouterr().err
+
+    def test_bad_jobs_is_a_uniform_error(self, capsys):
+        for command in (
+            ["simulate", "--trials", "10"],
+            ["fleet", "--members", "10"],
+        ):
+            assert main(command + ["--jobs", "0"]) == 2
+            assert "jobs must be at least 1" in capsys.readouterr().err
 
 
 class TestCommands:
@@ -98,6 +142,16 @@ class TestCommands:
         assert "audits_per_year" in output
         assert "mttdl_years" in output
 
+    def test_sweep_audit_simulated_series(self, capsys):
+        assert main([
+            "sweep-audit", "--mv", "500", "--ml", "100", "--mrv", "1",
+            "--mrl", "1", "--mdl", "5", "--rates", "0", "12",
+            "--trials", "150", "--seed", "1",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "sim_mttdl_hours" in output
+        assert "sim_std_error" in output
+
     def test_replication_output(self, capsys):
         assert main(["replication", "--max-replicas", "3", "--alphas", "1.0", "0.01"]) == 0
         output = capsys.readouterr().out
@@ -110,28 +164,40 @@ class TestCommands:
         assert "markov" in output
         assert "analytic_capped" in output
 
+    def test_validate_json_output(self, capsys):
+        assert main(["validate", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "validate"
+        methods = payload["result"]["details"]["methods_mttdl_years"]
+        assert set(methods) >= {
+            "analytic_capped", "markov", "markov_paper_convention",
+        }
+
     def test_simulate_mttdl_output(self, capsys):
         # A compressed-time model keeps the simulation quick and free of
-        # censoring; the batch backend is the default.
+        # censoring; the default engine pilots on the batch backend.
         assert main([
             "simulate", "--mv", "500", "--ml", "100", "--mrv", "1",
             "--mrl", "1", "--mdl", "5", "--trials", "400",
             "--max-time", "1e6",
         ]) == 0
         output = capsys.readouterr().out
-        assert "simulated MTTDL (batch backend)" in output
+        assert "simulated MTTDL (auto engine)" in output
         assert "95% CI low (years)" in output
         assert "censored" in output
+        # engine="auto" on a mirrored pair cross-checks the closed
+        # forms and the Markov chain for free.
+        assert "cross-check" in output
 
     def test_simulate_loss_metric_event_backend(self, capsys):
         assert main([
             "simulate", "--mv", "500", "--ml", "100", "--mrv", "1",
             "--mrl", "1", "--mdl", "5", "--metric", "loss",
-            "--backend", "event", "--trials", "50",
-            "--mission-years", "1",
+            "--backend", "event", "--method", "standard",
+            "--trials", "50", "--mission-years", "1",
         ]) == 0
         output = capsys.readouterr().out
-        assert "simulated loss probability (event backend)" in output
+        assert "simulated loss probability (event engine)" in output
         assert "P(loss in 1 years)" in output
 
     def test_simulate_adaptive_flag(self, capsys):
@@ -141,7 +207,7 @@ class TestCommands:
             "--max-time", "1e6", "--target-relative-error", "0.1",
         ]) == 0
         output = capsys.readouterr().out
-        assert "simulated MTTDL (batch backend)" in output
+        assert "simulated MTTDL (auto engine)" in output
 
     def test_simulate_rejects_bad_trials(self, capsys):
         assert main(["simulate", "--trials", "0"]) == 2
@@ -177,10 +243,10 @@ class TestCommands:
             "--mrl", "1", "--mdl", "5", "--trials", "100",
             "--max-time", "150", "--json",
         ]) == 0
-        payload = json.loads(capsys.readouterr().out)
-        assert payload["method"] == "is"
-        assert payload["warnings"] == []
-        assert payload["effective_sample_size"] is not None
+        result = json.loads(capsys.readouterr().out)["result"]
+        assert result["method"] == "is"
+        assert result["warnings"] == []
+        assert result["effective_sample_size"] is not None
 
     def test_simulate_explicit_is_method_reports_ess(self, capsys):
         assert main([
@@ -197,8 +263,33 @@ class TestCommands:
         assert main(["mttdl", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["command"] == "mttdl"
-        assert payload["mttdl_years"] == pytest.approx(5106.6, rel=1e-3)
-        assert payload["parameters"]["alpha"] == 1.0
+        assert payload["schema"] == CLI_JSON_SCHEMA_VERSION
+        assert payload["result"]["schema"] == SCHEMA_VERSION
+        details = payload["result"]["details"]
+        assert details["mttdl_years"] == pytest.approx(5106.9, rel=1e-3)
+        assert payload["scenario"]["system"]["model"]["alpha"] == 1.0
+        # The headline value is the MTTDL in hours.
+        assert payload["result"]["units"] == "hours"
+        assert payload["result"]["value"] == pytest.approx(
+            details["mttdl_hours"]
+        )
+
+    def test_json_payload_roundtrips_to_the_same_answer(self, capsys):
+        # The envelope embeds the scenario: loading it back and
+        # re-running must reproduce the result bit-for-bit.
+        from repro.study import Scenario, run
+
+        assert main([
+            "simulate", "--mv", "500", "--ml", "100", "--mrv", "1",
+            "--mrl", "1", "--mdl", "5", "--trials", "200",
+            "--max-time", "1e6", "--seed", "3", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        scenario = Scenario.from_dict(payload["scenario"])
+        rerun = run(scenario)
+        assert rerun.value == payload["result"]["value"]
+        assert rerun.std_error == payload["result"]["std_error"]
+        assert rerun.scenario_hash == payload["result"]["scenario_hash"]
 
     def test_replication_json_output(self, capsys):
         assert main([
@@ -206,9 +297,10 @@ class TestCommands:
             "--json",
         ]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["replicas"] == [1, 2, 3]
-        assert set(payload["mttdl_years_by_alpha"]) == {"1", "0.1"}
-        assert len(payload["mttdl_years_by_alpha"]["1"]) == 3
+        details = payload["result"]["details"]
+        assert details["values"] == [1.0, 2.0, 3.0]
+        assert set(details["series"]) == {"1", "0.1"}
+        assert len(details["series"]["1"]["mttdl_years"]) == 3
 
     def test_simulate_json_output(self, capsys):
         assert main([
@@ -218,11 +310,14 @@ class TestCommands:
         ]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["command"] == "simulate"
-        assert payload["metric"] == "mttdl"
-        assert payload["trials"] == 300
-        assert payload["censored"] == 0
-        assert payload["warnings"] == []
-        assert payload["ci_low"] <= payload["mean"] <= payload["ci_high"]
+        assert payload["scenario"]["question"] == "mttdl"
+        result = payload["result"]
+        assert result["trials"] == 300
+        assert result["censored"] == 0
+        assert result["warnings"] == []
+        assert result["ci_low"] <= result["value"] <= result["ci_high"]
+        assert result["scenario_hash"]
+        assert result["wall_time_seconds"] >= 0
 
     def test_simulate_json_records_warnings(self, capsys):
         assert main([
@@ -230,9 +325,9 @@ class TestCommands:
             "--mrl", "1", "--mdl", "5", "--trials", "100",
             "--max-time", "150", "--method", "standard", "--json",
         ]) == 0
-        payload = json.loads(capsys.readouterr().out)
-        assert payload["warnings"]
-        assert "censored" in payload["warnings"][0]
+        result = json.loads(capsys.readouterr().out)["result"]
+        assert result["warnings"]
+        assert "censored" in result["warnings"][0]
 
     def test_scrubbing_story_visible_from_cli(self, capsys):
         # The headline comparison should be reproducible from the CLI:
@@ -270,21 +365,27 @@ class TestOptimizeCommand:
     def test_recommendation_respects_budget_and_agrees_with_screen(self, capsys):
         assert main(["optimize", "--budget", "20000", "--json"] + self.GRID) == 0
         payload = json.loads(capsys.readouterr().out)
-        recommended = payload["recommended"]
+        details = payload["result"]["details"]
+        recommended = details["recommended"]
         assert recommended["annual_cost"] <= 20000
         assert recommended["agrees_with_screen"] is True
-        assert payload["summary"]["candidates"] == 24
-        assert payload["summary"]["pruned_by_screen"] >= 12
+        assert details["summary"]["candidates"] == 24
+        assert details["summary"]["pruned_by_screen"] >= 12
         # Every refined frontier point carries a confidence interval.
-        for point in payload["frontier"]:
+        for point in details["frontier"]:
             assert point["simulated"]["ci_low"] <= point["simulated"]["ci_high"]
+        # The headline estimate mirrors the recommendation.
+        assert payload["result"]["value"] == pytest.approx(
+            recommended["simulated"]["mean"]
+        )
 
     def test_target_loss_query(self, capsys):
         assert main(
             ["optimize", "--target-loss", "0.01", "--json"] + self.GRID
         ) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["recommended"]["simulated"]["mean"] <= 0.01
+        recommended = payload["result"]["details"]["recommended"]
+        assert recommended["simulated"]["mean"] <= 0.01
 
     def test_infeasible_budget_is_an_error(self, capsys):
         assert main(["optimize", "--budget", "1"] + self.GRID) == 2
@@ -303,13 +404,26 @@ class TestOptimizeCommand:
         )
         assert main(command) == 0
         first = json.loads(capsys.readouterr().out)
-        assert first["summary"]["new_evaluations"] == first["summary"]["refined"]
+        first_details = first["result"]["details"]
+        assert (
+            first_details["summary"]["new_evaluations"]
+            == first_details["summary"]["refined"]
+        )
         assert main(command) == 0
         second = json.loads(capsys.readouterr().out)
-        assert second["summary"]["new_evaluations"] == 0
-        assert second["summary"]["cache_hits"] == second["summary"]["refined"]
-        assert second["frontier"] == first["frontier"]
-        assert second["recommended"] == first["recommended"]
+        second_details = second["result"]["details"]
+        assert second_details["summary"]["new_evaluations"] == 0
+        assert (
+            second_details["summary"]["cache_hits"]
+            == second_details["summary"]["refined"]
+        )
+        assert second_details["frontier"] == first_details["frontier"]
+        assert second_details["recommended"] == first_details["recommended"]
+        # Two fully-cached reruns are identical modulo wall time (the
+        # first run differs in the new_evaluations/cache_hits counters).
+        assert main(command) == 0
+        third = json.loads(capsys.readouterr().out)
+        assert _without_wall_time(third) == _without_wall_time(second)
 
 
 class TestSweepAuditJson:
@@ -321,13 +435,14 @@ class TestSweepAuditJson:
         assert main(["sweep-audit", "--rates", "0", "3", "12", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["command"] == "sweep-audit"
-        assert payload["audits_per_year"] == [0.0, 3.0, 12.0]
-        assert set(payload["metrics"]) == {
+        details = payload["result"]["details"]
+        assert details["values"] == [0.0, 3.0, 12.0]
+        assert set(details["metrics"]) == {
             "mttdl_hours", "mttdl_years", "mdl_hours",
         }
-        assert len(payload["metrics"]["mttdl_years"]) == 3
+        assert len(details["metrics"]["mttdl_years"]) == 3
         # Scrubbing more often never hurts the MTTDL.
-        years = payload["metrics"]["mttdl_years"]
+        years = details["metrics"]["mttdl_years"]
         assert years[0] <= years[1] <= years[2]
 
 
@@ -361,14 +476,19 @@ class TestFleetCommand:
         ]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["command"] == "fleet"
-        assert payload["summary"]["members"] == 300
-        assert payload["summary"]["epochs"] >= 3
-        curve = payload["survival_curve"]
+        details = payload["result"]["details"]
+        assert details["summary"]["members"] == 300
+        assert details["summary"]["epochs"] >= 3
+        curve = details["survival_curve"]
         assert curve[0] == 1.0
         assert all(b <= a for a, b in zip(curve, curve[1:]))
-        assert len(payload["cumulative_cost_per_member"]) == len(curve) - 1
-        assert payload["summary"]["loss_fraction"] == (
+        assert len(details["cumulative_cost_per_member"]) == len(curve) - 1
+        assert details["summary"]["loss_fraction"] == (
             pytest.approx(1.0 - curve[-1])
+        )
+        # The headline estimate is the fleet loss fraction.
+        assert payload["result"]["value"] == pytest.approx(
+            details["summary"]["loss_fraction"]
         )
 
     def test_timeline_file_round_trips_through_the_cli(self, capsys, tmp_path):
@@ -384,9 +504,10 @@ class TestFleetCommand:
             "fleet", "--timeline", str(path), "--members", "200", "--json",
         ]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["summary"]["years"] == 2.0
-        assert payload["summary"]["epochs"] == 1
-        assert payload["summary"]["losses"] > 0
+        summary = payload["result"]["details"]["summary"]
+        assert summary["years"] == 2.0
+        assert summary["epochs"] == 1
+        assert summary["losses"] > 0
 
     def test_seed_changes_the_realisation(self, capsys):
         command = ["fleet", "--members", "300", "--years", "10",
@@ -397,8 +518,8 @@ class TestFleetCommand:
         second = json.loads(capsys.readouterr().out)
         assert main(command + ["--seed", "2"]) == 0
         third = json.loads(capsys.readouterr().out)
-        assert first == second
-        assert third != first
+        assert _without_wall_time(first) == _without_wall_time(second)
+        assert _without_wall_time(third) != _without_wall_time(first)
 
     def test_missing_timeline_file_is_an_error(self, capsys):
         assert main([

@@ -1,0 +1,137 @@
+"""Golden-file tests locking each subcommand's JSON payload shape.
+
+Every ``--json`` payload flows through the one shared emitter
+(:func:`repro.study.emit_json`) and carries a schema version; these
+tests lock the *shape* (the set of key paths and their JSON types) of
+each subcommand's envelope against golden files in ``tests/golden/``,
+so a field rename/removal — a breaking change for consumers — cannot
+land without bumping the schema and regenerating the goldens
+deliberately:
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_cli_golden.py
+
+Values are deliberately not locked (estimates move with the estimator),
+only structure.
+"""
+
+import io
+import json
+import os
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+# A compressed-time model keeps the stochastic commands fast and free of
+# surprises; every command pins its seed so shapes are reproducible.
+FAST_MODEL = ["--mv", "500", "--ml", "100", "--mrv", "1", "--mrl", "1",
+              "--mdl", "5"]
+
+COMMANDS = {
+    "mttdl": ["mttdl", "--json"],
+    "sweep-audit": ["sweep-audit", "--rates", "0", "3", "12", "--json"],
+    "sweep-audit-simulated": (
+        ["sweep-audit"] + FAST_MODEL
+        + ["--rates", "0", "12", "--trials", "100", "--seed", "0", "--json"]
+    ),
+    "replication": ["replication", "--max-replicas", "3", "--json"],
+    "validate": ["validate", "--json"],
+    "simulate-mttdl": (
+        ["simulate"] + FAST_MODEL
+        + ["--trials", "200", "--max-time", "1e6", "--seed", "0", "--json"]
+    ),
+    "simulate-loss-is": (
+        ["simulate"] + FAST_MODEL
+        + ["--metric", "loss", "--mission-years", "0.01", "--method", "is",
+           "--trials", "100", "--seed", "0", "--json"]
+    ),
+    "optimize": [
+        "optimize", "--budget", "1000000000", "--media", "drive:cheetah",
+        "--replicas", "2", "--audit-rates", "12", "--trials", "100",
+        "--seed", "0", "--json",
+    ],
+    "fleet": [
+        "fleet", "--members", "100", "--years", "5", "--refresh-years", "2",
+        "--seed", "0", "--json",
+    ],
+}
+
+
+def _json_type(value) -> str:
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, int):
+        return "int"
+    if isinstance(value, float):
+        return "float"
+    if isinstance(value, str):
+        return "str"
+    if isinstance(value, list):
+        return "array"
+    return "object"
+
+
+def _shape(value, prefix="", out=None):
+    """Flatten a payload into sorted ``path: type`` strings.
+
+    Arrays are described by their first element (homogeneous by
+    construction), so growing a series never changes the shape.
+    """
+    if out is None:
+        out = set()
+    out.add(f"{prefix or '.'}: {_json_type(value)}")
+    if isinstance(value, dict):
+        for key, child in value.items():
+            _shape(child, f"{prefix}.{key}", out)
+    elif isinstance(value, list) and value:
+        _shape(value[0], f"{prefix}[]", out)
+    return sorted(out)
+
+
+def _run_cli(argv) -> dict:
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        assert main(argv) == 0
+    return json.loads(buffer.getvalue())
+
+
+@pytest.mark.parametrize("name", sorted(COMMANDS))
+def test_json_shape_matches_golden(name):
+    payload = _run_cli(COMMANDS[name])
+    shape = _shape(payload)
+    golden_path = GOLDEN_DIR / f"{name}.shape.json"
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        golden_path.write_text(
+            json.dumps(shape, indent=2) + "\n", encoding="utf-8"
+        )
+        pytest.skip(f"regenerated {golden_path.name}")
+    assert golden_path.exists(), (
+        f"no golden shape for {name!r}; regenerate with "
+        "REPRO_REGEN_GOLDEN=1"
+    )
+    golden = json.loads(golden_path.read_text(encoding="utf-8"))
+    assert shape == golden, (
+        f"JSON shape of {name!r} drifted from {golden_path.name}; if the "
+        "change is intentional, bump the schema version and regenerate "
+        "with REPRO_REGEN_GOLDEN=1"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(COMMANDS))
+def test_every_payload_carries_command_and_schema(name):
+    payload = _run_cli(COMMANDS[name])
+    from repro.study import CLI_JSON_SCHEMA_VERSION
+
+    assert payload["schema"] == CLI_JSON_SCHEMA_VERSION
+    assert payload["command"] == COMMANDS[name][0]
+    assert payload["result"]["schema"] >= 1
+    assert payload["scenario"]["question"] in (
+        "mttdl", "loss_probability", "frontier", "fleet_survival", "sweep",
+    )
