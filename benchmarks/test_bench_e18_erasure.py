@@ -1,0 +1,233 @@
+"""Experiment E18: the (n, k) erasure generalisation at speed.
+
+Generalising the loss test from "all replicas faulty" to "``n - k + 1``
+fragments faulty" must not cost the batch kernel its throughput, and
+the generalised answer must stay anchored to exact theory.  Three legs:
+
+1. **throughput** — an EC(6,4) fleet of trials through the vectorized
+   batch kernel against the honest alternative, one event-driven
+   six-fragment system per trial, with a >= 30x acceptance target;
+2. **exactness** — for a pure-visible-fault model the generalised
+   birth-death chain is the truth, and the batch kernel's loss
+   fraction at 20,000 trials must cover it within 3 standard errors
+   (the event loop must in turn overlap the batch CI at 95%);
+3. **planner** — a design space carrying the erasure axis must still
+   screen-prune at least half its candidates analytically before any
+   Monte-Carlo runs.
+
+Everything lands in ``BENCH_e18.json`` so the speedup, the anchor, and
+the prune rate are artifacts, not commit-message claims.
+"""
+
+import json
+import math
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.core.parameters import FaultModel
+from repro.core.redundancy import ErasureCode
+from repro.core.units import HOURS_PER_YEAR
+from repro.markov import build_scheme_chain, loss_probability_over_time
+from repro.optimize import DesignSpace, EvaluationSettings, optimize
+from repro.simulation.batch import simulate_batch
+from repro.simulation.rng import RandomStreams
+from repro.simulation.system import system_from_fault_model
+
+#: Pure-visible operating point: latent faults pushed past any horizon,
+#: so the birth-death chain describes the simulated physics exactly and
+#: EC(6,4) over 20 years sees enough losses for a meaningful interval.
+MV = 4e4
+MR = 500.0
+PURE = FaultModel(
+    mean_time_to_visible=MV,
+    mean_time_to_latent=1e12,
+    mean_repair_visible=MR,
+    mean_repair_latent=MR,
+    mean_detect_latent=1.0,
+    correlation_factor=1.0,
+)
+
+SCHEME = ErasureCode(6, 4)
+MISSION = 20.0 * HOURS_PER_YEAR
+EVENT_TRIALS = 1000
+ANCHOR_TRIALS = 20_000
+SPEEDUP_TARGET = 30.0
+PRUNE_TARGET = 0.5
+ARTIFACT = Path("BENCH_e18.json")
+
+#: The planner space with the erasure axis switched on: replication
+#: degrees and codes compete in one enumeration.
+SPACE = DesignSpace(
+    dataset_tb=50.0,
+    media=("drive:barracuda", "drive:cheetah", "media:tape"),
+    replica_counts=(2, 3),
+    erasure_schemes=("4,2", "6,4", "9,6"),
+    audit_rates=(0.0, 12.0, 52.0),
+    placements=("single", "multi"),
+)
+SETTINGS = EvaluationSettings(mission_years=50.0, trials=5000, seed=18)
+
+
+def intervals_overlap(a_low, a_high, b_low, b_high):
+    return a_low <= b_high and b_low <= a_high
+
+
+def run_event_loop(trials, seed):
+    """One event-driven six-fragment system per trial.
+
+    The audit cadence is overridden to monthly: with latent faults at
+    1e12 hours scrubbing cannot change the answer, it only spares the
+    per-fragment engine two-hourly scrub events (the batch kernel keeps
+    the model verbatim).
+    """
+    root = RandomStreams(seed=seed)
+    losses = 0
+    start = time.perf_counter()
+    for trial in range(trials):
+        system = system_from_fault_model(
+            PURE,
+            streams=root.spawn(trial),
+            scheme=SCHEME,
+            audits_per_year=12.0,
+        )
+        if system.run(max_time=MISSION).lost:
+            losses += 1
+    return losses, time.perf_counter() - start
+
+
+@pytest.mark.benchmark(group="e18 erasure generalisation")
+def test_bench_e18_erasure(benchmark, experiment_printer):
+    # --- leg 1: throughput at equal trial counts --------------------
+    event_losses, event_seconds = run_event_loop(EVENT_TRIALS, seed=18)
+    # Best-of-three for the fast path, as in e14/e17: one scheduling
+    # hiccup must not fake a regression.
+    batch_seconds = min(
+        _timed_batch(EVENT_TRIALS)[1] for _ in range(3)
+    )
+    speedup = event_seconds / batch_seconds
+
+    benchmark(
+        lambda: simulate_batch(
+            PURE,
+            trials=EVENT_TRIALS,
+            horizon=MISSION,
+            seed=18,
+            replicas=SCHEME.n,
+            scheme=SCHEME,
+        )
+    )
+
+    # --- leg 2: anchor against the exact chain ----------------------
+    # The batch kernel repairs faulty fragments independently, so the
+    # matching chain uses parallel repair.
+    chain = build_scheme_chain(MV, MR, SCHEME, parallel_repair=True)
+    exact = loss_probability_over_time(chain, MISSION)
+    anchor, _ = _timed_batch(ANCHOR_TRIALS)
+    batch_mean = float(anchor.lost.mean())
+    batch_se = math.sqrt(
+        max(batch_mean * (1.0 - batch_mean), 1e-12) / anchor.lost.size
+    )
+    p_event = event_losses / EVENT_TRIALS
+    event_se = math.sqrt(
+        max(p_event * (1.0 - p_event), 1e-12) / EVENT_TRIALS
+    )
+
+    # --- leg 3: planner with the erasure axis -----------------------
+    start = time.perf_counter()
+    plan = optimize(SPACE, SETTINGS, jobs=1)
+    plan_seconds = time.perf_counter() - start
+    refined_coded = sum(
+        1 for e in plan.refined if e.candidate.scheme is not None
+    )
+    frontier_schemes = [
+        e.candidate.effective_scheme().describe() for e in plan.frontier
+    ]
+
+    payload = {
+        "experiment": "e18_erasure",
+        "scheme": SCHEME.as_dict(),
+        "mission_years": MISSION / HOURS_PER_YEAR,
+        "throughput": {
+            "model": PURE.as_dict(),
+            "trials": EVENT_TRIALS,
+            "batch_seconds": batch_seconds,
+            "event_loop_seconds": event_seconds,
+            "speedup": speedup,
+        },
+        "markov_anchor": {
+            "exact_loss_probability": exact,
+            "batch_trials": ANCHOR_TRIALS,
+            "batch_loss_fraction": batch_mean,
+            "batch_3se": [
+                batch_mean - 3.0 * batch_se,
+                batch_mean + 3.0 * batch_se,
+            ],
+            "event_loop_loss_fraction": p_event,
+        },
+        "planner": {
+            "space": SPACE.as_dict(),
+            "candidates": plan.candidates,
+            "pruned": plan.pruned,
+            "pruned_fraction": plan.pruned_fraction,
+            "refined": len(plan.refined),
+            "refined_erasure_candidates": refined_coded,
+            "frontier_schemes": frontier_schemes,
+            "seconds": plan_seconds,
+        },
+    }
+    ARTIFACT.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+
+    experiment_printer(
+        f"E18: (n, k) erasure generalisation — EC({SCHEME.n},{SCHEME.k}) "
+        f"over {MISSION / HOURS_PER_YEAR:g} years",
+        format_table(
+            ["method", "P(loss)", "seconds"],
+            [
+                ["batch kernel", batch_mean, batch_seconds],
+                ["event loop / trial", p_event, event_seconds],
+                ["birth-death chain (exact)", exact, float("nan")],
+            ],
+        )
+        + f"\nspeedup: {speedup:.0f}x (target >= {SPEEDUP_TARGET:.0f}x)"
+        + f"\nplanner: {plan.candidates} candidates, "
+        f"{plan.pruned_fraction:.0%} pruned "
+        f"(target >= {PRUNE_TARGET:.0%}), "
+        f"{refined_coded} erasure candidates refined"
+        + f"\nfrontier: {', '.join(frontier_schemes)}"
+        + f"\nartifact: {ARTIFACT}",
+    )
+
+    # The generalised kernel must deliver the speed...
+    assert speedup >= SPEEDUP_TARGET
+    # ...and the exact answer: the chain's transient loss probability
+    # sits inside the batch kernel's own 3-standard-error interval,
+    # and the event engine tells the same story at 95%.
+    assert abs(batch_mean - exact) <= 3.0 * batch_se
+    assert intervals_overlap(
+        batch_mean - 1.96 * batch_se,
+        batch_mean + 1.96 * batch_se,
+        p_event - 1.96 * event_se,
+        p_event + 1.96 * event_se,
+    )
+    # The erasure axis must not blunt the analytic screen, and coded
+    # candidates must actually compete past it.
+    assert plan.pruned_fraction >= PRUNE_TARGET
+    assert refined_coded > 0
+    assert len(plan.frontier) > 0
+
+
+def _timed_batch(trials):
+    start = time.perf_counter()
+    result = simulate_batch(
+        PURE,
+        trials=trials,
+        horizon=MISSION,
+        seed=18,
+        replicas=SCHEME.n,
+        scheme=SCHEME,
+    )
+    return result, time.perf_counter() - start

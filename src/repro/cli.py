@@ -52,6 +52,7 @@ times are entered in hours, consistent with the library.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 import warnings
@@ -60,6 +61,7 @@ from typing import Optional, Sequence
 from repro import study
 from repro.analysis.tables import format_scenario_table
 from repro.core.parameters import FaultModel
+from repro.core.redundancy import parse_scheme
 from repro.core.scenarios import paper_scenarios
 from repro.fleet import FleetTimeline, generation_refresh_timeline
 from repro.optimize import DesignSpace
@@ -218,12 +220,14 @@ def _cmd_simulate(args: argparse.Namespace) -> str:
         # (event-backend auto piloting) escalates through the default
         # auto engine instead.
         engine = "auto"
+    scheme = parse_scheme(args.scheme) if args.scheme is not None else None
     scenario = study.Scenario(
         question="mttdl" if args.metric == "mttdl" else "loss_probability",
         system=study.SystemSpec(
             model=_model_from_args(args),
             replicas=args.replicas,
             audits_per_year=args.audits_per_year,
+            scheme=scheme,
         ),
         mission_years=args.mission_years,
         max_time_hours=args.max_time,
@@ -252,6 +256,7 @@ def _cmd_optimize(args: argparse.Namespace) -> str:
             audit_rates=tuple(float(rate) for rate in args.audit_rates),
             placements=tuple(args.placements),
             site_cost_per_year=args.site_cost,
+            erasure_schemes=tuple(args.scheme or ()),
         )
     except KeyError as error:
         # Catalog lookups raise KeyError with a message listing the
@@ -274,9 +279,10 @@ def _cmd_optimize(args: argparse.Namespace) -> str:
 
 
 def _fleet_timeline_from_args(args: argparse.Namespace) -> FleetTimeline:
+    scheme = parse_scheme(args.scheme) if args.scheme is not None else None
     if args.timeline is not None:
         try:
-            return FleetTimeline.from_json(args.timeline)
+            timeline = FleetTimeline.from_json(args.timeline)
         except FileNotFoundError as error:
             raise ValueError(
                 f"timeline file not found: {args.timeline}"
@@ -285,6 +291,9 @@ def _fleet_timeline_from_args(args: argparse.Namespace) -> FleetTimeline:
             raise ValueError(
                 f"malformed timeline file {args.timeline}: {error}"
             ) from error
+        if scheme is not None:
+            timeline = dataclasses.replace(timeline, scheme=scheme)
+        return timeline
     try:
         return generation_refresh_timeline(
             medium=args.medium,
@@ -292,6 +301,7 @@ def _fleet_timeline_from_args(args: argparse.Namespace) -> FleetTimeline:
             refresh_every_years=args.refresh_years,
             replicas=args.replicas,
             audits_per_year=args.audits_per_year,
+            scheme=scheme,
         )
     except KeyError as error:
         raise ValueError(error.args[0]) from error
@@ -397,6 +407,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="Monte-Carlo trials, per chunk when adaptive (default: 1000)")
     simulate.add_argument("--replicas", type=int, default=2,
                           help="replication degree (default: 2)")
+    simulate.add_argument("--scheme", default=None,
+                          help="erasure-coding scheme as N,K (e.g. 6,4): "
+                          "N fragments, any K recover the data; overrides "
+                          "--replicas (default: plain replication)")
     simulate.add_argument("--mission-years", type=float, default=50.0,
                           help="mission length for the loss metric (default: 50)")
     simulate.add_argument("--max-time", type=float, default=None,
@@ -429,6 +443,10 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="medium identifiers (drive:<id> or media:<id>)")
     optimize_parser.add_argument("--replicas", nargs="+", type=int, default=[2, 3, 4],
                                  help="replication degrees to consider (default: 2 3 4)")
+    optimize_parser.add_argument("--scheme", nargs="+", default=None,
+                                 help="erasure-coding schemes to consider, each "
+                                 "as N,K (e.g. 6,4 9,6); added to the design "
+                                 "space next to the replication degrees")
     optimize_parser.add_argument("--audit-rates", nargs="+",
                                  default=["0", "1", "12", "52"],
                                  help="audit rates (per replica per year) to consider")
@@ -481,6 +499,10 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--replicas", type=int, default=2,
                        help="replication degree of the default timeline "
                        "(default: 2)")
+    fleet.add_argument("--scheme", default=None,
+                       help="erasure-coding scheme as N,K for every member "
+                       "(overrides --replicas and any timeline file's "
+                       "scheme; default: plain replication)")
     fleet.add_argument("--audits-per-year", type=float, default=12.0,
                        help="audit rate of the default timeline "
                        "(default: 12)")

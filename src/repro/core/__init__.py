@@ -50,6 +50,17 @@ from repro.core.replication import (
     replicated_mttdl,
     replication_gain,
     replicas_needed_for_target,
+    fragments_needed_for_target,
+)
+from repro.core.redundancy import (
+    RedundancyScheme,
+    Replication,
+    ErasureCode,
+    parse_scheme,
+    resolve_scheme,
+    scheme_loss_rate,
+    scheme_mttdl_hours,
+    scheme_mttdl_eq12,
 )
 from repro.core.scenarios import (
     Scenario,
@@ -131,6 +142,16 @@ __all__ = [
     "replicated_mttdl",
     "replication_gain",
     "replicas_needed_for_target",
+    "fragments_needed_for_target",
+    # redundancy schemes
+    "RedundancyScheme",
+    "Replication",
+    "ErasureCode",
+    "parse_scheme",
+    "resolve_scheme",
+    "scheme_loss_rate",
+    "scheme_mttdl_hours",
+    "scheme_mttdl_eq12",
     # scenarios
     "Scenario",
     "cheetah_no_scrub_scenario",

@@ -25,6 +25,7 @@ import math
 from typing import List
 
 from repro.core.parameters import FaultModel
+from repro.core.redundancy import RedundancyScheme, scheme_mttdl_eq12
 
 
 def replicated_mttdl(
@@ -49,26 +50,18 @@ def replicated_mttdl(
     Raises:
         ValueError: for non-positive parameters or ``replicas < 1``.
     """
-    if mean_time_to_fault <= 0:
-        raise ValueError("mean_time_to_fault must be positive")
-    if mean_repair_time < 0:
-        raise ValueError("mean_repair_time must be non-negative")
     if replicas < 1:
         raise ValueError("replicas must be at least 1")
-    if not 0 < correlation_factor <= 1:
-        raise ValueError("correlation_factor must be in (0, 1]")
-    if replicas == 1:
-        return mean_time_to_fault
-    if mean_repair_time == 0:
-        return float("inf")
-    per_step = correlation_factor * mean_time_to_fault / mean_repair_time
     # Probability of each successive fault landing inside the window is
-    # 1 / per_step; the approximation is only meaningful when that
-    # probability is below 1, otherwise every fault cascades and the
-    # MTTDL degenerates to the single-copy mean time to fault.
-    if per_step <= 1:
-        return mean_time_to_fault
-    return mean_time_to_fault * per_step ** (replicas - 1)
+    # MRV / (α MV); the generalised form caps it at 1 so that when every
+    # fault cascades the MTTDL degenerates to the single-copy mean time
+    # to fault.  Replication is the (n=r, k=1) scheme.
+    return scheme_mttdl_eq12(
+        mean_time_to_fault,
+        mean_repair_time,
+        RedundancyScheme(n=replicas, k=1),
+        correlation_factor,
+    )
 
 
 def replicated_mttdl_from_model(model: FaultModel, replicas: int) -> float:
@@ -135,6 +128,49 @@ def replicas_needed_for_target(
     raise ValueError(
         f"target MTTDL {target_mttdl:g} h not reachable with up to "
         f"{max_replicas} replicas at correlation {correlation_factor:g}"
+    )
+
+
+def fragments_needed_for_target(
+    n_max: int,
+    k: int,
+    mean_time_to_fault: float,
+    mean_repair_time: float,
+    target_mttdl: float,
+    correlation_factor: float = 1.0,
+) -> int:
+    """Smallest fragment count ``n`` whose (n, k) MTTDL meets a target.
+
+    The erasure-coded analogue of :func:`replicas_needed_for_target`:
+    holding the reconstruction threshold ``k`` fixed, find the smallest
+    ``n`` (searching ``k .. n_max``) whose generalised Eq. 12 MTTDL
+    (:func:`repro.core.redundancy.scheme_mttdl_eq12`) reaches
+    ``target_mttdl``.  For ``k = 1`` the answer coincides with
+    :func:`replicas_needed_for_target` because the generalised formula
+    reduces to Eq. 12 exactly.
+
+    Raises:
+        ValueError: for an unreachable target within ``n_max`` fragments,
+            or ``n_max < k``.
+    """
+    if target_mttdl <= 0:
+        raise ValueError("target_mttdl must be positive")
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    if n_max < k:
+        raise ValueError("n_max must be at least k")
+    for n in range(k, n_max + 1):
+        mttdl = scheme_mttdl_eq12(
+            mean_time_to_fault,
+            mean_repair_time,
+            RedundancyScheme(n=n, k=k),
+            correlation_factor,
+        )
+        if mttdl >= target_mttdl:
+            return n
+    raise ValueError(
+        f"target MTTDL {target_mttdl:g} h not reachable with up to "
+        f"{n_max} fragments at k={k}, correlation {correlation_factor:g}"
     )
 
 

@@ -199,6 +199,7 @@ def simulate_fleet_chunk(
         audits_per_year=first.audits_per_year,
         rng=piecewise_generator(seed, chunk),
         track_years=track_years,
+        scheme=timeline.scheme,
     )
     schedule_rng = fleet_schedule_generator(
         seed if schedule_seed is None else schedule_seed

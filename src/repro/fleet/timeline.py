@@ -40,8 +40,9 @@ import numpy as np
 
 from repro.core.migration import FormatRisk
 from repro.core.parameters import FaultModel
+from repro.core.redundancy import RedundancyScheme
 from repro.core.units import HOURS_PER_YEAR
-from repro.storage.costs import kryder_declined_cost, replication_cost
+from repro.storage.costs import kryder_declined_cost, scheme_storage_cost
 from repro.storage.site import ReplicaPlacement, assess_independence
 from repro.threats.correlation_sources import correlation_pressure
 from repro.threats.taxonomy import ThreatProfile
@@ -314,6 +315,9 @@ class FleetTimeline:
         replicas: replication degree of every member (constant across
             the timeline — changing it is a refresh, not a mid-flight
             mutation of live members).
+        scheme: optional (n, k) redundancy scheme for every member; when
+            set, ``replicas`` is forced to the fragment count ``n`` and
+            a member is lost at ``n - k + 1`` simultaneous faults.
         label: display label for reports.
     """
 
@@ -321,9 +325,12 @@ class FleetTimeline:
     epochs: Tuple[FleetEpoch, ...]
     migrations: Tuple[MigrationEvent, ...] = ()
     replicas: int = 2
+    scheme: Optional[RedundancyScheme] = None
     label: str = ""
 
     def __post_init__(self) -> None:
+        if self.scheme is not None:
+            object.__setattr__(self, "replicas", self.scheme.n)
         if self.years <= 0:
             raise ValueError("years must be positive")
         if not self.epochs:
@@ -406,19 +413,30 @@ class FleetTimeline:
     # -- serialisation -----------------------------------------------------
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "years": self.years,
             "replicas": self.replicas,
             "label": self.label,
             "epochs": [epoch.as_dict() for epoch in self.epochs],
             "migrations": [m.as_dict() for m in self.migrations],
         }
+        # Conditional so replication timelines keep their historical
+        # content hash (and hence their chunk-cache keys).
+        if self.scheme is not None:
+            payload["scheme"] = self.scheme.as_dict()
+        return payload
 
     @staticmethod
     def from_dict(payload: Dict[str, object]) -> "FleetTimeline":
+        scheme = payload.get("scheme")
         return FleetTimeline(
             years=float(payload["years"]),
             replicas=int(payload.get("replicas", 2)),
+            scheme=(
+                RedundancyScheme.from_dict(scheme)
+                if scheme is not None
+                else None
+            ),
             label=str(payload.get("label", "")),
             epochs=tuple(
                 FleetEpoch.from_dict(epoch) for epoch in payload["epochs"]
@@ -464,6 +482,7 @@ def stationary_timeline(
     replicas: int = 2,
     audits_per_year: Optional[float] = None,
     annual_cost_per_member: float = 0.0,
+    scheme: Optional[RedundancyScheme] = None,
     label: str = "stationary",
 ) -> FleetTimeline:
     """A single-epoch control timeline — the regression anchor.
@@ -476,6 +495,7 @@ def stationary_timeline(
     return FleetTimeline(
         years=years,
         replicas=replicas,
+        scheme=scheme,
         label=label,
         epochs=(
             FleetEpoch(
@@ -502,6 +522,7 @@ def generation_refresh_timeline(
     site_cost_per_year: float = 0.0,
     shocks: Optional[RegionalShockModel] = None,
     migrations: Sequence[MigrationEvent] = (),
+    scheme: Optional[RedundancyScheme] = None,
     label: str = "",
 ) -> FleetTimeline:
     """A Kryder-priced media-generation refresh schedule.
@@ -535,6 +556,11 @@ def generation_refresh_timeline(
     if dataset_tb_per_member <= 0:
         raise ValueError("dataset_tb_per_member must be positive")
 
+    if scheme is not None:
+        replicas = scheme.n
+    effective = (
+        scheme if scheme is not None else RedundancyScheme(n=replicas, k=1)
+    )
     resolved = resolve_medium(medium)
     alpha = placement_alpha(placement, replicas) if replicas >= 2 else 1.0
     model = resolved.fault_model(audits_per_year, alpha)
@@ -548,11 +574,11 @@ def generation_refresh_timeline(
         declined = kryder_declined_cost(
             cost_model.hardware_cost_per_tb, start, kryder_decline
         )
-        annual_cost = replication_cost(
+        annual_cost = scheme_storage_cost(
             replace(cost_model, hardware_cost_per_tb=declined),
             dataset_tb=dataset_tb_per_member,
-            replicas=replicas,
-            audits_per_replica_year=audits_per_year,
+            scheme=effective,
+            audits_per_fragment_year=audits_per_year,
             independent_sites=sites,
         ).total_per_year
         aging_start = start + aging_onset_fraction * refresh_every_years
@@ -581,6 +607,7 @@ def generation_refresh_timeline(
     return FleetTimeline(
         years=years,
         replicas=replicas,
+        scheme=scheme,
         label=label or f"{medium} refresh every {refresh_every_years:g}y",
         epochs=tuple(epochs),
         migrations=tuple(migrations),
@@ -606,6 +633,7 @@ def timeline_from_recommendation(
     return FleetTimeline(
         years=years,
         replicas=candidate.replicas,
+        scheme=candidate.scheme,
         label=label or f"planner hand-off: {candidate.key()}",
         epochs=(
             FleetEpoch(

@@ -23,9 +23,11 @@ from repro.markov.transient import (
 from repro.markov.builders import (
     build_mirrored_chain,
     build_replicated_chain,
+    build_scheme_chain,
     build_scrubbed_chain,
     mirrored_mttdl_markov,
     replicated_mttdl_markov,
+    scheme_mttdl_markov,
 )
 
 __all__ = [
@@ -39,7 +41,9 @@ __all__ = [
     "survival_curve",
     "build_mirrored_chain",
     "build_replicated_chain",
+    "build_scheme_chain",
     "build_scrubbed_chain",
     "mirrored_mttdl_markov",
     "replicated_mttdl_markov",
+    "scheme_mttdl_markov",
 ]

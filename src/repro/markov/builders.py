@@ -13,6 +13,7 @@ replicas used to check Eq. 12's overlapping-window approximation.
 from __future__ import annotations
 
 from repro.core.parameters import FaultModel
+from repro.core.redundancy import RedundancyScheme
 from repro.core.units import HOURS_PER_YEAR
 from repro.markov.absorbing import mean_time_to_absorption
 from repro.markov.chain import MarkovChain
@@ -115,6 +116,94 @@ def mirrored_mttdl_markov(
     return mean_time_to_absorption(chain, start=HEALTHY)
 
 
+def build_scheme_chain(
+    mean_time_to_fault: float,
+    mean_repair_time: float,
+    scheme: RedundancyScheme,
+    correlation_factor: float = 1.0,
+    parallel_repair: bool = False,
+    scale_fault_rate_with_survivors: bool = True,
+) -> MarkovChain:
+    """Birth-death CTMC over the number of faulty fragments of a scheme.
+
+    The general redundancy chain: an ``(n, k)`` scheme stores ``n``
+    fragments and loses data when ``n - k + 1`` of them are
+    simultaneously faulty, so the chain's states are the integers
+    ``0 .. n - k + 1`` with the last one absorbing.  ``k = 1`` recovers
+    the classic r-way replicated chain (states ``0 .. r``, absorbing at
+    ``r``) exactly.
+
+    Args:
+        mean_time_to_fault: per-fragment mean time to any fault (hours).
+        mean_repair_time: mean repair time per faulty fragment (hours).
+        scheme: the redundancy scheme; ``scheme.n`` fragments, absorbing
+            at ``scheme.loss_threshold`` faulty.
+        correlation_factor: once at least one fragment is faulty, the
+            per-fragment fault rate of the survivors is divided by this
+            factor (matching the analytic model's ``α``).
+        parallel_repair: if true, each faulty fragment is repaired
+            concurrently (repair rate ``f / MR`` from state ``f``);
+            otherwise a single repair crew works at rate ``1 / MR``.
+        scale_fault_rate_with_survivors: if true the aggregate fault rate
+            from state ``f`` is ``(n - f)`` times the per-fragment rate;
+            Eq. 12's approximation effectively ignores that factor, so it
+            can be disabled for a like-for-like comparison.
+
+    Returns:
+        A chain whose states are the integers ``0 .. n - k + 1`` with
+        the last state absorbing.
+    """
+    if mean_time_to_fault <= 0:
+        raise ValueError("mean_time_to_fault must be positive")
+    if mean_repair_time <= 0:
+        raise ValueError("mean_repair_time must be positive")
+    if not 0 < correlation_factor <= 1:
+        raise ValueError("correlation_factor must be in (0, 1]")
+
+    threshold = scheme.loss_threshold
+    chain = MarkovChain()
+    for failed in range(threshold + 1):
+        chain.add_state(failed, absorbing=(failed == threshold))
+
+    base_rate = 1.0 / mean_time_to_fault
+    repair_rate = 1.0 / mean_repair_time
+    for failed in range(threshold):
+        survivors = scheme.n - failed
+        per_fragment_rate = base_rate
+        if failed > 0:
+            per_fragment_rate = base_rate / correlation_factor
+        aggregate = (
+            survivors * per_fragment_rate
+            if scale_fault_rate_with_survivors
+            else per_fragment_rate
+        )
+        chain.add_transition(failed, failed + 1, aggregate)
+        if failed > 0:
+            rate = repair_rate * failed if parallel_repair else repair_rate
+            chain.add_transition(failed, failed - 1, rate)
+    return chain
+
+
+def scheme_mttdl_markov(
+    mean_time_to_fault: float,
+    mean_repair_time: float,
+    scheme: RedundancyScheme,
+    correlation_factor: float = 1.0,
+    parallel_repair: bool = False,
+    scale_fault_rate_with_survivors: bool = True,
+) -> float:
+    """Exact MTTDL (hours) of the (n, k) birth-death chain."""
+    chain = build_scheme_chain(
+        mean_time_to_fault=mean_time_to_fault,
+        mean_repair_time=mean_repair_time,
+        scheme=scheme,
+        correlation_factor=correlation_factor,
+        parallel_repair=parallel_repair,
+        scale_fault_rate_with_survivors=scale_fault_rate_with_survivors,
+    )
+    return mean_time_to_absorption(chain, start=0)
+
+
 def build_replicated_chain(
     mean_time_to_fault: float,
     mean_repair_time: float,
@@ -125,56 +214,20 @@ def build_replicated_chain(
 ) -> MarkovChain:
     """Birth-death CTMC over the number of failed replicas.
 
-    Args:
-        mean_time_to_fault: per-replica mean time to any fault (hours).
-        mean_repair_time: mean repair time per failed replica (hours).
-        replicas: replication degree ``r``; data is lost when all ``r``
-            replicas are simultaneously failed.
-        correlation_factor: once at least one replica has failed, the
-            per-replica fault rate of the survivors is divided by this
-            factor (matching the analytic model's ``α``).
-        parallel_repair: if true, each failed replica is repaired
-            concurrently (repair rate ``k / MR`` from state ``k``);
-            otherwise a single repair crew works at rate ``1 / MR``.
-        scale_fault_rate_with_survivors: if true the aggregate fault rate
-            from state ``k`` is ``(r - k)`` times the per-replica rate;
-            Eq. 12's approximation effectively ignores that factor, so it
-            can be disabled for a like-for-like comparison.
-
-    Returns:
-        A chain whose states are the integers ``0 .. r`` with ``r``
-        absorbing.
+    Thin wrapper over :func:`build_scheme_chain` for the ``(r, 1)``
+    scheme: data is lost when all ``r`` replicas are simultaneously
+    failed, so the states are ``0 .. r`` with ``r`` absorbing.
     """
     if replicas < 1:
         raise ValueError("replicas must be at least 1")
-    if mean_time_to_fault <= 0:
-        raise ValueError("mean_time_to_fault must be positive")
-    if mean_repair_time <= 0:
-        raise ValueError("mean_repair_time must be positive")
-    if not 0 < correlation_factor <= 1:
-        raise ValueError("correlation_factor must be in (0, 1]")
-
-    chain = MarkovChain()
-    for failed in range(replicas + 1):
-        chain.add_state(failed, absorbing=(failed == replicas))
-
-    base_rate = 1.0 / mean_time_to_fault
-    repair_rate = 1.0 / mean_repair_time
-    for failed in range(replicas):
-        survivors = replicas - failed
-        per_replica_rate = base_rate
-        if failed > 0:
-            per_replica_rate = base_rate / correlation_factor
-        aggregate = (
-            survivors * per_replica_rate
-            if scale_fault_rate_with_survivors
-            else per_replica_rate
-        )
-        chain.add_transition(failed, failed + 1, aggregate)
-        if failed > 0:
-            rate = repair_rate * failed if parallel_repair else repair_rate
-            chain.add_transition(failed, failed - 1, rate)
-    return chain
+    return build_scheme_chain(
+        mean_time_to_fault=mean_time_to_fault,
+        mean_repair_time=mean_repair_time,
+        scheme=RedundancyScheme(n=replicas, k=1),
+        correlation_factor=correlation_factor,
+        parallel_repair=parallel_repair,
+        scale_fault_rate_with_survivors=scale_fault_rate_with_survivors,
+    )
 
 
 def replicated_mttdl_markov(

@@ -35,6 +35,7 @@ from typing import Dict, Iterable, List, Optional
 
 from repro.core.parameters import FaultModel
 from repro.core.probability import probability_of_loss
+from repro.core.redundancy import RedundancyScheme
 from repro.core.units import years_to_hours
 from repro.optimize.space import CandidateDesign
 from repro.simulation.estimators import check_method, zero_loss_ci_high
@@ -240,34 +241,43 @@ class CandidateEvaluation:
         )
 
 
-def screen_loss_rate(model: FaultModel, replicas: int) -> float:
+def screen_loss_rate(
+    model: FaultModel,
+    replicas: int,
+    scheme: Optional[RedundancyScheme] = None,
+) -> float:
     """Data-loss rate (per hour) in simulator-consistent semantics.
 
     Delegates to the single owner of the chained-window formula,
     :func:`repro.simulation.rare_event.analytic_loss_rate`, which the
     rare-event machinery also uses to pick failure-biasing factors.
 
-    A window of vulnerability opens when any of the ``replicas`` copies
-    faults (rate ``r λ_T`` per fault type); data is lost when every
-    remaining copy faults inside it.  The ``j``-th successive fault has
-    ``r - j`` candidate replicas, each faulting at the correlated rate
-    ``λ_any / α``, into an expected residual window of ``W_T / 2^(j-1)``
-    (each landed fault arrives uniformly within the remaining overlap).
-    Every per-step probability is capped at 1, mirroring the paper's
-    treatment of windows so long that the linearisation saturates.
+    A window of vulnerability opens when any of the ``n`` fragments
+    faults (rate ``n λ_T`` per fault type); data is lost when the
+    faulty count reaches the scheme's loss threshold ``n - k + 1``.
+    The ``j``-th successive fault has ``n - j`` candidate fragments,
+    each faulting at the correlated rate ``λ_any / α``, into an
+    expected residual window of ``W_T / 2^(j-1)`` (each landed fault
+    arrives uniformly within the remaining overlap).  Every per-step
+    probability is capped at 1, mirroring the paper's treatment of
+    windows so long that the linearisation saturates.
 
-    For ``replicas == 2`` this is exactly twice
+    For ``replicas == 2`` (no scheme) this is exactly twice
     :func:`repro.core.mttdl.double_fault_rate` — the factor the paper's
     one-window-owner convention omits and the simulators include.
     """
-    if replicas < 2:
+    if scheme is None and replicas < 2:
         raise ValueError("replicas must be at least 2")
-    return analytic_loss_rate(model, replicas)
+    return analytic_loss_rate(model, replicas, scheme=scheme)
 
 
-def screen_mttdl_hours(model: FaultModel, replicas: int) -> float:
+def screen_mttdl_hours(
+    model: FaultModel,
+    replicas: int,
+    scheme: Optional[RedundancyScheme] = None,
+) -> float:
     """MTTDL implied by :func:`screen_loss_rate` (``inf`` when lossless)."""
-    rate = screen_loss_rate(model, replicas)
+    rate = screen_loss_rate(model, replicas, scheme=scheme)
     if rate <= 0:
         return math.inf
     return 1.0 / rate
@@ -278,7 +288,7 @@ def screen(
 ) -> CandidateEvaluation:
     """Cheap analytic evaluation of one candidate (no simulation)."""
     model = candidate.fault_model()
-    mttdl = screen_mttdl_hours(model, candidate.replicas)
+    mttdl = screen_mttdl_hours(model, candidate.replicas, scheme=candidate.scheme)
     mission_hours = years_to_hours(settings.mission_years)
     if math.isfinite(mttdl):
         loss_probability = probability_of_loss(mttdl, mission_hours)
@@ -322,6 +332,7 @@ def refine(
         seed=seed,
         replicas=candidate.replicas,
         audits_per_year=candidate.audits_per_year,
+        scheme=candidate.scheme,
         backend=settings.backend,
         target_relative_error=settings.target_relative_error,
         max_trials=settings.max_trials,

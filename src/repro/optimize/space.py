@@ -27,13 +27,14 @@ from functools import lru_cache
 from typing import Dict, Iterator, Optional, Tuple
 
 from repro.core.parameters import FaultModel
+from repro.core.redundancy import RedundancyScheme, parse_scheme
 from repro.core.units import HOURS_PER_YEAR
 from repro.storage.costs import (
     CostModel,
     StorageCostBreakdown,
     cost_model_for_drive,
     cost_model_for_media,
-    replication_cost,
+    scheme_storage_cost,
 )
 from repro.storage.drives import DriveSpec, drive_catalog
 from repro.storage.media import MediaSpec, fault_model_for_media, media_catalog
@@ -182,12 +183,16 @@ class CandidateDesign:
 
     Attributes:
         medium: catalog identifier (``drive:<id>`` or ``media:<id>``).
-        replicas: replication degree (at least 2).
+        replicas: stored fragment count — the replication degree for
+            plain replication, ``scheme.n`` for an erasure candidate
+            (kept in sync with ``scheme`` automatically).
         audits_per_year: full audit passes per replica per year.
         placement: ``"single"`` or ``"multi"`` site placement.
         dataset_tb: collection size in terabytes (drives the cost side).
         site_cost_per_year: annual cost of each additional independent
             site, charged for multi-site placements.
+        scheme: optional (n, k) redundancy scheme; ``None`` means plain
+            ``replicas``-way replication (the historical semantics).
     """
 
     medium: str
@@ -196,8 +201,14 @@ class CandidateDesign:
     placement: str
     dataset_tb: float
     site_cost_per_year: float = 0.0
+    scheme: Optional[RedundancyScheme] = None
 
     def __post_init__(self) -> None:
+        if self.scheme is not None:
+            # The fragment count is the reliability-relevant degree
+            # everywhere downstream (placement alpha, simulation width),
+            # so the two fields are forced consistent.
+            object.__setattr__(self, "replicas", self.scheme.n)
         if self.replicas < 2:
             raise ValueError("replicas must be at least 2")
         if self.audits_per_year < 0:
@@ -230,15 +241,21 @@ class CandidateDesign:
     def independent_sites(self) -> int:
         return self.replicas if self.placement == "multi" else 1
 
+    def effective_scheme(self) -> RedundancyScheme:
+        """The candidate's scheme (``(replicas, 1)`` when unset)."""
+        if self.scheme is not None:
+            return self.scheme
+        return RedundancyScheme(n=self.replicas, k=1)
+
     def cost_breakdown(self) -> StorageCostBreakdown:
         model = self.fault_model()
         expected_repairs = HOURS_PER_YEAR * model.total_fault_rate
-        return replication_cost(
+        return scheme_storage_cost(
             self.resolved_medium().cost_model(self.site_cost_per_year),
             dataset_tb=self.dataset_tb,
-            replicas=self.replicas,
-            audits_per_replica_year=self.audits_per_year,
-            expected_repairs_per_replica_year=expected_repairs,
+            scheme=self.effective_scheme(),
+            audits_per_fragment_year=self.audits_per_year,
+            expected_repairs_per_fragment_year=expected_repairs,
             independent_sites=self.independent_sites(),
         )
 
@@ -249,19 +266,27 @@ class CandidateDesign:
     # -- identity ----------------------------------------------------------
 
     def key(self) -> str:
-        """Stable human-readable identity of the design point."""
-        return (
+        """Stable human-readable identity of the design point.
+
+        The scheme segment is appended only for erasure candidates, so
+        replication keys (and the caches and per-candidate seeds spawned
+        from them) are unchanged from before schemes existed.
+        """
+        base = (
             f"{self.medium}|r={self.replicas}|audits={self.audits_per_year:g}"
             f"|placement={self.placement}|tb={self.dataset_tb:g}"
             f"|site_cost={self.site_cost_per_year:g}"
         )
+        if self.scheme is not None:
+            base += f"|scheme={self.scheme.key()}"
+        return base
 
     def content_hash(self) -> str:
         """Hex digest identifying the candidate's full configuration."""
         return hashlib.sha256(self.key().encode("utf-8")).hexdigest()[:16]
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "medium": self.medium,
             "replicas": self.replicas,
             "audits_per_year": self.audits_per_year,
@@ -269,9 +294,15 @@ class CandidateDesign:
             "dataset_tb": self.dataset_tb,
             "site_cost_per_year": self.site_cost_per_year,
         }
+        # Conditional so replication payloads (and every content hash
+        # derived from them) are byte-identical to the pre-scheme era.
+        if self.scheme is not None:
+            payload["scheme"] = self.scheme.as_dict()
+        return payload
 
     @staticmethod
     def from_dict(payload: Dict[str, object]) -> "CandidateDesign":
+        scheme = payload.get("scheme")
         return CandidateDesign(
             medium=str(payload["medium"]),
             replicas=int(payload["replicas"]),
@@ -279,6 +310,11 @@ class CandidateDesign:
             placement=str(payload["placement"]),
             dataset_tb=float(payload["dataset_tb"]),
             site_cost_per_year=float(payload.get("site_cost_per_year", 0.0)),
+            scheme=(
+                RedundancyScheme.from_dict(scheme)
+                if scheme is not None
+                else None
+            ),
         )
 
 
@@ -293,6 +329,10 @@ class DesignSpace:
         audit_rates: audits per replica per year.
         placements: placement styles, a subset of :data:`PLACEMENTS`.
         site_cost_per_year: annual cost per additional independent site.
+        erasure_schemes: optional (n, k) schemes as ``"n,k"`` strings
+            (e.g. ``("6,4", "9,6")``); each adds an erasure-coded
+            candidate per medium/audit-rate/placement combination, making
+            replication-vs-coding a first-class Pareto axis.
     """
 
     dataset_tb: float = 10.0
@@ -301,6 +341,7 @@ class DesignSpace:
     audit_rates: Tuple[float, ...] = (0.0, 1.0, 12.0, 52.0)
     placements: Tuple[str, ...] = PLACEMENTS
     site_cost_per_year: float = 0.0
+    erasure_schemes: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.dataset_tb <= 0:
@@ -326,19 +367,30 @@ class DesignSpace:
                 )
         if self.site_cost_per_year < 0:
             raise ValueError("site_cost_per_year must be non-negative")
+        for text in self.erasure_schemes:
+            scheme = parse_scheme(text)
+            if scheme.n < 2:
+                raise ValueError(
+                    f"erasure scheme {text!r} needs at least 2 fragments"
+                )
 
     @property
     def size(self) -> int:
         """Number of candidate designs in the space."""
         return (
             len(self.media)
-            * len(self.replica_counts)
+            * (len(self.replica_counts) + len(self.erasure_schemes))
             * len(self.audit_rates)
             * len(self.placements)
         )
 
     def candidates(self) -> Iterator[CandidateDesign]:
-        """Enumerate every candidate in a deterministic order."""
+        """Enumerate every candidate in a deterministic order.
+
+        Replication candidates come first (in the historical order, so a
+        space without erasure schemes enumerates exactly as before),
+        followed by the erasure-coded candidates.
+        """
         for medium in self.media:
             for replicas in self.replica_counts:
                 for rate in self.audit_rates:
@@ -351,9 +403,23 @@ class DesignSpace:
                             dataset_tb=self.dataset_tb,
                             site_cost_per_year=self.site_cost_per_year,
                         )
+        for medium in self.media:
+            for text in self.erasure_schemes:
+                scheme = parse_scheme(text)
+                for rate in self.audit_rates:
+                    for placement in self.placements:
+                        yield CandidateDesign(
+                            medium=medium,
+                            replicas=scheme.n,
+                            audits_per_year=rate,
+                            placement=placement,
+                            dataset_tb=self.dataset_tb,
+                            site_cost_per_year=self.site_cost_per_year,
+                            scheme=scheme,
+                        )
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "dataset_tb": self.dataset_tb,
             "media": list(self.media),
             "replica_counts": list(self.replica_counts),
@@ -361,6 +427,11 @@ class DesignSpace:
             "placements": list(self.placements),
             "site_cost_per_year": self.site_cost_per_year,
         }
+        # Conditional so the content hash of a replication-only space is
+        # unchanged from before the erasure axis existed.
+        if self.erasure_schemes:
+            payload["erasure_schemes"] = list(self.erasure_schemes)
+        return payload
 
     def content_hash(self) -> str:
         """Hex digest of the whole space definition."""

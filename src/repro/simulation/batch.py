@@ -81,6 +81,7 @@ import numpy as np
 
 from repro.core.faults import FaultType
 from repro.core.parameters import FaultModel
+from repro.core.redundancy import RedundancyScheme
 from repro.core.units import HOURS_PER_YEAR
 from repro.simulation.rng import batch_generator, piecewise_generator
 from repro.simulation.scrubbing import audit_interval_for
@@ -182,8 +183,9 @@ def simulate_batch(
     audits_per_year: Optional[float] = None,
     chunk: int = 0,
     bias: Optional[float] = None,
+    scheme: Optional[RedundancyScheme] = None,
 ) -> BatchRunResult:
-    """Simulate ``trials`` replicated systems in lock-step to ``horizon``.
+    """Simulate ``trials`` redundant systems in lock-step to ``horizon``.
 
     Args:
         model: the fault-model operating point.
@@ -192,7 +194,7 @@ def simulate_batch(
             are censored.
         seed: root seed (shared with the event backend's convention, but
             drawing from the reserved batch stream).
-        replicas: replication degree.
+        replicas: replication degree (ignored when ``scheme`` is given).
         audits_per_year: overrides the model-derived audit interval.
         chunk: batch-extension index used by adaptive sampling; each
             chunk draws from an independent stream of the same seed.
@@ -201,11 +203,22 @@ def simulate_batch(
             drawn at ``bias`` times their true rate and the result
             carries per-trial ``log_weight``s.  ``None`` (or 1) runs the
             plain, unweighted simulation.
+        scheme: redundancy scheme; the state matrix holds ``scheme.n``
+            fragments and a trial loses data when
+            ``scheme.loss_threshold`` of them are simultaneously faulty.
+            ``None`` keeps the historical ``replicas`` semantics — an
+            ``(n, 1)`` scheme consumes the RNG stream identically to
+            ``replicas=n``, so the two are bit-for-bit interchangeable.
 
     Raises:
         ValueError: for non-positive ``trials`` / ``horizon`` / ``bias``
             or a replication degree below 1.
     """
+    if scheme is not None:
+        replicas = scheme.n
+        loss_threshold = scheme.loss_threshold
+    else:
+        loss_threshold = replicas
     if trials <= 0:
         raise ValueError("trials must be positive")
     if horizon <= 0:
@@ -370,7 +383,9 @@ def simulate_batch(
                 # rate; first faults fired at the true rate.
                 second_or_later = rows[faulty_now >= 2]
                 log_weight[second_or_later] -= log_accel
-            loss_mask = faulty_now == replicas
+            # An (n, k) scheme loses as soon as the faulty count reaches
+            # n - k + 1; replication is the threshold = n special case.
+            loss_mask = faulty_now >= loss_threshold
             if loss_mask.any():
                 l_rows = rows[loss_mask]
                 lost[l_rows] = True
@@ -507,7 +522,10 @@ class PiecewiseBatchState:
         seed: int = 0,
         chunk: int = 0,
         track_years: Optional[int] = None,
+        scheme: Optional[RedundancyScheme] = None,
     ) -> None:
+        if scheme is not None:
+            replicas = scheme.n
         if trials <= 0:
             raise ValueError("trials must be positive")
         if replicas < 1:
@@ -515,6 +533,9 @@ class PiecewiseBatchState:
         self._rng = rng if rng is not None else piecewise_generator(seed, chunk)
         self.trials = trials
         self.replicas = replicas
+        self.loss_threshold = (
+            scheme.loss_threshold if scheme is not None else replicas
+        )
         self.now = 0.0
         self.sweeps = 0
 
@@ -729,7 +750,10 @@ class PiecewiseBatchState:
         self.recovery[rows, cols] = completed
 
         faulty_now = np.count_nonzero(self.state[rows] != OK, axis=1)
-        loss_mask = faulty_now == self.replicas
+        # ``>=`` because a multi-replica shock can jump the faulty count
+        # past an (n, k) scheme's threshold in one landing; replication
+        # is the threshold = n special case where ``>=`` means ``==``.
+        loss_mask = faulty_now >= self.loss_threshold
         if loss_mask.any():
             l_rows = rows[loss_mask]
             self.lost[l_rows] = True
@@ -908,6 +932,7 @@ def simulate_batch_piecewise(
     replicas: int = 2,
     chunk: int = 0,
     rng: Optional[np.random.Generator] = None,
+    scheme: Optional[RedundancyScheme] = None,
 ) -> BatchRunResult:
     """Simulate ``trials`` systems through a piecewise-constant timeline.
 
@@ -939,6 +964,7 @@ def simulate_batch_piecewise(
         rng=rng,
         seed=seed,
         chunk=chunk,
+        scheme=scheme,
     )
     state.advance_to(first.end_time)
     for segment in segments[1:]:

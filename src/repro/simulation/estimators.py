@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Tuple
 
 from repro.core.parameters import FaultModel
+from repro.core.redundancy import RedundancyScheme
 from repro.core.units import HOURS_PER_YEAR
 from repro.simulation.batch import simulate_batch
 from repro.simulation.rng import RandomStreams
@@ -143,13 +144,20 @@ class MonteCarloEstimate:
 
 
 def default_factory(
-    model: FaultModel, replicas: int, audits_per_year: Optional[float]
+    model: FaultModel,
+    replicas: int,
+    audits_per_year: Optional[float],
+    scheme: Optional[RedundancyScheme] = None,
 ) -> SystemFactory:
     """The event backend's factory for plain :class:`FaultModel` systems."""
 
     def factory(streams: RandomStreams) -> ReplicatedStorageSystem:
         return system_from_fault_model(
-            model, replicas=replicas, streams=streams, audits_per_year=audits_per_year
+            model,
+            replicas=replicas,
+            streams=streams,
+            audits_per_year=audits_per_year,
+            scheme=scheme,
         )
 
     return factory
@@ -247,12 +255,15 @@ def _is_loss_tally(
     bias: Optional[float],
     target_relative_error: Optional[float],
     cap: int,
+    scheme: Optional[RedundancyScheme] = None,
 ):
     """Run adaptive importance-sampled batch chunks into a tally."""
     from repro.simulation import rare_event
 
     if bias is None:
-        bias = rare_event.default_failure_bias(model, replicas, horizon)
+        bias = rare_event.default_failure_bias(
+            model, replicas, horizon, scheme=scheme
+        )
     tally = rare_event.WeightedLossTally()
     chunk = 0
     while tally.trials < cap:
@@ -272,6 +283,7 @@ def _is_loss_tally(
                 audits_per_year=audits_per_year,
                 chunk=chunk,
                 bias=bias,
+                scheme=scheme,
             )
         )
         chunk += 1
@@ -291,6 +303,7 @@ def run_mttdl(
     max_trials: Optional[int] = None,
     method: str = "standard",
     bias: Optional[float] = None,
+    scheme: Optional[RedundancyScheme] = None,
 ) -> MonteCarloEstimate:
     """The MTTDL estimation loop (see :func:`~repro.simulation.monte_carlo.estimate_mttdl`).
 
@@ -315,7 +328,7 @@ def run_mttdl(
         if model is None:
             raise ValueError("either model or factory must be provided")
         if backend == "event":
-            factory = default_factory(model, replicas, audits_per_year)
+            factory = default_factory(model, replicas, audits_per_year, scheme)
     if max_time is None:
         if model is not None:
             # A horizon long enough that censoring is rare: many multiples
@@ -354,6 +367,7 @@ def run_mttdl(
                 replicas=replicas,
                 audits_per_year=audits_per_year,
                 chunk=chunk,
+                scheme=scheme,
             )
             total_time += result.total_observed_time
             losses += result.losses
@@ -397,6 +411,7 @@ def run_mttdl(
             bias=bias,
             target_relative_error=target_relative_error,
             cap=cap,
+            scheme=scheme,
         )
         return rare_event.mttdl_from_loss_probability(
             tally.loss_estimate(), max_time
@@ -414,6 +429,7 @@ def _splitting_estimate(
     audits_per_year: Optional[float],
     target_relative_error: Optional[float],
     cap: int,
+    scheme: Optional[RedundancyScheme] = None,
 ) -> MonteCarloEstimate:
     """Adaptive chunks of fixed-effort multilevel-splitting passes.
 
@@ -449,6 +465,7 @@ def _splitting_estimate(
             audits_per_year=audits_per_year,
             factory=factory,
             chunk=chunk,
+            scheme=scheme,
         )
         means.append(run.mean)
         errors.append(run.std_error)
@@ -480,6 +497,7 @@ def run_loss_probability(
     max_trials: Optional[int] = None,
     method: str = "standard",
     bias: Optional[float] = None,
+    scheme: Optional[RedundancyScheme] = None,
 ) -> MonteCarloEstimate:
     """The loss-probability estimation loop (see
     :func:`~repro.simulation.monte_carlo.estimate_loss_probability`).
@@ -501,7 +519,7 @@ def run_loss_probability(
         if model is None:
             raise ValueError("either model or factory must be provided")
         if backend == "event":
-            factory = default_factory(model, replicas, audits_per_year)
+            factory = default_factory(model, replicas, audits_per_year, scheme)
 
     cap = adaptive_cap(trials, max_trials)
     if method == "splitting":
@@ -515,6 +533,7 @@ def run_loss_probability(
             audits_per_year,
             target_relative_error,
             cap,
+            scheme=scheme,
         )
     losses = 0
     done = 0
@@ -542,6 +561,7 @@ def run_loss_probability(
                 replicas=replicas,
                 audits_per_year=audits_per_year,
                 chunk=chunk,
+                scheme=scheme,
             )
             losses += result.losses
         else:
@@ -572,6 +592,7 @@ def run_loss_probability(
             bias=bias,
             target_relative_error=target_relative_error,
             cap=cap,
+            scheme=scheme,
         )
         return tally.loss_estimate()
     if use_splitting:
@@ -585,6 +606,7 @@ def run_loss_probability(
             audits_per_year,
             target_relative_error,
             cap,
+            scheme=scheme,
         )
     p = losses / done
     std_error = math.sqrt(max(p * (1.0 - p), 1e-12) / done)

@@ -88,6 +88,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.core.faults import FaultType
 from repro.core.parameters import FaultModel
+from repro.core.redundancy import RedundancyScheme
 from repro.core.units import HOURS_PER_YEAR
 from repro.simulation.batch import simulate_batch
 from repro.simulation.estimators import (
@@ -139,6 +140,7 @@ def _delegate_to_study(
     bias: Optional[float],
     mission_time: Optional[float] = None,
     max_time: Optional[float] = None,
+    scheme: Optional[RedundancyScheme] = None,
 ) -> Optional[MonteCarloEstimate]:
     """Route a legacy call through :func:`repro.study.run` when possible.
 
@@ -167,7 +169,10 @@ def _delegate_to_study(
     scenario = study.Scenario(
         question=question,
         system=study.SystemSpec(
-            model=model, replicas=replicas, audits_per_year=audits_per_year
+            model=model,
+            replicas=replicas,
+            audits_per_year=audits_per_year,
+            scheme=scheme,
         ),
         mission_years=mission_years,
         max_time_hours=max_time,
@@ -197,6 +202,7 @@ def estimate_mttdl(
     max_trials: Optional[int] = None,
     method: str = "standard",
     bias: Optional[float] = None,
+    scheme: Optional[RedundancyScheme] = None,
 ) -> MonteCarloEstimate:
     """Estimate the MTTDL by simulating until data loss.
 
@@ -250,6 +256,7 @@ def estimate_mttdl(
         max_trials,
         bias,
         max_time=max_time,
+        scheme=scheme,
     )
     if delegated is not None:
         return delegated
@@ -266,6 +273,7 @@ def estimate_mttdl(
         max_trials=max_trials,
         method=method,
         bias=bias,
+        scheme=scheme,
     )
 
 
@@ -282,6 +290,7 @@ def estimate_loss_probability(
     max_trials: Optional[int] = None,
     method: str = "standard",
     bias: Optional[float] = None,
+    scheme: Optional[RedundancyScheme] = None,
 ) -> MonteCarloEstimate:
     """Estimate the probability of data loss within a mission time.
 
@@ -321,6 +330,7 @@ def estimate_loss_probability(
         max_trials,
         bias,
         mission_time=mission_time,
+        scheme=scheme,
     )
     if delegated is not None:
         return delegated
@@ -337,6 +347,7 @@ def estimate_loss_probability(
         max_trials=max_trials,
         method=method,
         bias=bias,
+        scheme=scheme,
     )
 
 

@@ -41,6 +41,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.parameters import FaultModel
+from repro.core.redundancy import RedundancyScheme, resolve_scheme, scheme_loss_rate
 from repro.simulation.batch import BatchRunResult
 from repro.simulation.monte_carlo import MonteCarloEstimate, SystemFactory
 from repro.simulation.rng import (
@@ -66,40 +67,32 @@ MAX_FAILURE_BIAS = 1e4
 RULE_OF_THREE = 3.0
 
 
-def analytic_loss_rate(model: FaultModel, replicas: int) -> float:
+def analytic_loss_rate(
+    model: FaultModel,
+    replicas: int,
+    scheme: Optional[RedundancyScheme] = None,
+) -> float:
     """Data-loss rate (per hour) in simulator-consistent semantics.
 
-    A window of vulnerability opens when any of the ``replicas`` copies
-    faults (rate ``r λ_T`` per fault type); data is lost when every
-    remaining copy faults inside it.  The ``j``-th successive fault has
-    ``r - j`` candidate replicas, each faulting at the correlated rate
-    ``λ_any / α``, into an expected residual window of ``W_T / 2^(j-1)``
-    (each uniformly-arriving fault leaves on average half the remaining
-    overlap for the next one).  Every per-step probability is capped at
-    1, mirroring the paper's treatment of windows so long that the
-    linearisation saturates.
+    A window of vulnerability opens when any of the ``n`` fragments
+    faults (rate ``n λ_T`` per fault type); data is lost when every
+    fault the scheme can still absorb lands inside it.  The ``j``-th
+    successive fault has ``n - j`` candidate fragments, each faulting at
+    the correlated rate ``λ_any / α``, into an expected residual window
+    of ``W_T / 2^(j-1)`` (each uniformly-arriving fault leaves on
+    average half the remaining overlap for the next one).  Every
+    per-step probability is capped at 1, mirroring the paper's treatment
+    of windows so long that the linearisation saturates.
 
-    For a single replica the chain is empty and the rate reduces to the
-    total per-replica fault rate (the first fault is the loss).  This is
-    the single owner of the chained-window formula; the optimizer's
-    analytic screen (:func:`repro.optimize.evaluate.screen_loss_rate`)
-    delegates here.
+    The chained-window formula itself lives in
+    :func:`repro.core.redundancy.scheme_loss_rate` (the single owner);
+    this wrapper resolves the legacy ``replicas`` argument to the
+    ``(r, 1)`` scheme, and the optimizer's analytic screen
+    (:func:`repro.optimize.evaluate.screen_loss_rate`) delegates here.
     """
-    if replicas < 1:
+    if scheme is None and replicas < 1:
         raise ValueError("replicas must be at least 1")
-    lam_any = model.total_fault_rate
-    alpha = model.correlation_factor
-    rate = 0.0
-    for lam_first, window in (
-        (model.visible_rate, model.visible_window),
-        (model.latent_rate, model.latent_window),
-    ):
-        product = 1.0
-        for j in range(1, replicas):
-            residual = window / 2.0 ** (j - 1)
-            product *= min(1.0, (replicas - j) * residual * lam_any / alpha)
-        rate += replicas * lam_first * product
-    return rate
+    return scheme_loss_rate(model, resolve_scheme(scheme, replicas))
 
 
 def default_failure_bias(
@@ -108,34 +101,41 @@ def default_failure_bias(
     horizon: float,
     target: Optional[float] = None,
     max_bias: float = MAX_FAILURE_BIAS,
+    scheme: Optional[RedundancyScheme] = None,
 ) -> float:
     """Failure-biasing factor aimed at an observable biased loss rate.
 
     Degraded-regime biasing by ``b`` multiplies the loss probability by
-    roughly ``b^(r-1)`` (each of the ``r - 1`` successive faults inside
-    the window accelerates by ``b``), so the factor solving
-    ``p · b^(r-1) = target`` lands the biased run where a comfortable
+    roughly ``b^(T-1)``, where ``T`` is the scheme's loss threshold
+    (``n - k + 1`` faulty fragments; the replication degree ``r`` for
+    plain replication) — each of the ``T - 1`` successive faults inside
+    the window accelerates by ``b``.  The factor solving
+    ``p · b^(T-1) = target`` lands the biased run where a comfortable
     fraction of trials actually lose data.  The target shrinks
-    geometrically with the replication degree because each extra biased
-    fault also compounds the weights' spread.  Already-lossy operating
-    points (``p >= target``) return 1 — no biasing needed — and the
-    factor is capped at ``max_bias`` to keep the degraded windows from
+    geometrically with the threshold because each extra biased fault
+    also compounds the weights' spread.  Already-lossy operating points
+    (``p >= target``) return 1 — no biasing needed — and the factor is
+    capped at ``max_bias`` to keep the degraded windows from
     saturating.
     """
     if horizon <= 0:
         raise ValueError("horizon must be positive")
-    if replicas < 2:
+    if scheme is None and replicas < 2:
         return 1.0
-    rate = analytic_loss_rate(model, replicas)
+    resolved = resolve_scheme(scheme, replicas)
+    threshold = resolved.loss_threshold
+    if threshold < 2:
+        return 1.0
+    rate = scheme_loss_rate(model, resolved)
     loss_probability = -math.expm1(-rate * horizon)
     if target is None:
-        target = DEFAULT_TARGET_BIASED_LOSS ** (replicas - 1)
+        target = DEFAULT_TARGET_BIASED_LOSS ** (threshold - 1)
     if loss_probability <= 0.0:
         return max_bias
     if loss_probability >= target:
         return 1.0
     return min(
-        (target / loss_probability) ** (1.0 / (replicas - 1)), max_bias
+        (target / loss_probability) ** (1.0 / (threshold - 1)), max_bias
     )
 
 
@@ -267,7 +267,10 @@ def mttdl_from_loss_probability(
 
 
 def _default_factory(
-    model: FaultModel, replicas: int, audits_per_year: Optional[float]
+    model: FaultModel,
+    replicas: int,
+    audits_per_year: Optional[float],
+    scheme: Optional[RedundancyScheme] = None,
 ) -> SystemFactory:
     def factory(streams: RandomStreams) -> ReplicatedStorageSystem:
         return system_from_fault_model(
@@ -275,6 +278,7 @@ def _default_factory(
             replicas=replicas,
             streams=streams,
             audits_per_year=audits_per_year,
+            scheme=scheme,
         )
 
     return factory
@@ -333,15 +337,19 @@ def splitting_loss_probability(
     audits_per_year: Optional[float] = None,
     factory: Optional[SystemFactory] = None,
     chunk: int = 0,
+    scheme: Optional[RedundancyScheme] = None,
 ) -> SplittingRun:
     """One fixed-effort multilevel-splitting pass on the event backend.
 
-    The level function is the number of simultaneously faulty replicas:
-    stage ``ℓ`` starts ``trials_per_level`` systems from the entry
-    states of level ``ℓ - 1`` (pristine systems for stage 1) and runs
-    each until it reaches level ``ℓ`` or the mission horizon, estimating
-    the conditional probability ``P(reach ℓ | reached ℓ - 1)``; the loss
-    probability is the product across stages.  Entry states are captured
+    The level function is the number of simultaneously faulty replicas,
+    and the number of stages is the system's *loss threshold* (all
+    replicas for plain replication, ``n - k + 1`` faulty fragments for
+    an (n, k) scheme): stage ``ℓ`` starts ``trials_per_level`` systems
+    from the entry states of level ``ℓ - 1`` (pristine systems for
+    stage 1) and runs each until it reaches level ``ℓ`` or the mission
+    horizon, estimating the conditional probability
+    ``P(reach ℓ | reached ℓ - 1)``; the loss probability is the product
+    across stages.  Entry states are captured
     as :class:`~repro.simulation.system.SystemSnapshot` and resampled
     with replacement — a trial that loses outright mid-stage (e.g. a
     shock hitting every replica) propagates as a certain hit so
@@ -365,10 +373,12 @@ def splitting_loss_probability(
     if factory is None:
         if model is None:
             raise ValueError("either model or factory must be provided")
-        factory = _default_factory(model, replicas, audits_per_year)
-        levels = replicas
+        factory = _default_factory(model, replicas, audits_per_year, scheme)
+        levels = (
+            scheme.loss_threshold if scheme is not None else replicas
+        )
     else:
-        levels = factory(RandomStreams(seed=seed)).config.replicas
+        levels = factory(RandomStreams(seed=seed)).config.effective_loss_threshold
 
     conditional: List[float] = []
     total_runs = 0

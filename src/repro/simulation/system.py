@@ -5,9 +5,11 @@ fault processes.  Latent faults wait for the audit policy to detect them;
 detected faults are repaired under the repair policy.  Correlation can be
 modelled with the paper's multiplicative factor (fault rates of the
 surviving replicas accelerate once any replica is faulty) or with
-explicit shared-fate shock events.  The data is lost when every replica
-is faulty at the same time — for a mirrored pair this is exactly the
-paper's double-fault event.
+explicit shared-fate shock events.  The data is lost when the number of
+simultaneously faulty replicas reaches the configured loss threshold —
+every replica for plain replication (for a mirrored pair this is exactly
+the paper's double-fault event), ``n - k + 1`` fragments for an (n, k)
+erasure scheme.
 """
 
 from __future__ import annotations
@@ -17,6 +19,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.faults import FaultType
 from repro.core.parameters import FaultModel
+from repro.core.redundancy import RedundancyScheme
 from repro.simulation.correlation import (
     CorrelationModel,
     IndependentFaults,
@@ -40,7 +43,8 @@ class SystemConfig:
     """Configuration of a simulated replicated storage system.
 
     Attributes:
-        replicas: replication degree (>= 1).
+        replicas: replication degree (>= 1); for an (n, k) erasure
+            scheme this is the fragment count ``n``.
         visible_process: fault process generating visible faults per
             replica.
         latent_process: fault process generating latent faults per
@@ -49,6 +53,9 @@ class SystemConfig:
         repair_policy: how long repairs take and how risky they are.
         correlation: how faults accelerate or co-occur across replicas.
         trace: whether to record a full event trace.
+        loss_threshold: number of simultaneously faulty replicas that
+            loses the data (``n - k + 1`` for an (n, k) scheme); ``None``
+            means all replicas must be faulty (plain replication).
     """
 
     replicas: int
@@ -58,10 +65,26 @@ class SystemConfig:
     repair_policy: RepairPolicy
     correlation: CorrelationModel = field(default_factory=IndependentFaults)
     trace: bool = False
+    loss_threshold: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.replicas < 1:
             raise ValueError("replicas must be at least 1")
+        if self.loss_threshold is not None and not (
+            1 <= self.loss_threshold <= self.replicas
+        ):
+            raise ValueError(
+                "loss_threshold must be between 1 and the replica count"
+            )
+
+    @property
+    def effective_loss_threshold(self) -> int:
+        """Faulty count at which data is lost (replica count by default)."""
+        return (
+            self.loss_threshold
+            if self.loss_threshold is not None
+            else self.replicas
+        )
 
 
 @dataclass(frozen=True)
@@ -379,7 +402,7 @@ class ReplicatedStorageSystem:
             if fault_type is FaultType.VISIBLE:
                 self._start_repair(index, fault_type)
             # Latent faults wait for an audit (or access) to be detected.
-        if self._faulty_count() == len(self._replicas):
+        if self._faulty_count() >= self._config.effective_loss_threshold:
             self._declare_loss(fault_type)
             return
         if (
@@ -410,7 +433,9 @@ class ReplicatedStorageSystem:
                 oldest = replica
         first_type = oldest.current_fault_type if oldest is not None else None
         self._loss_types = (first_type, final_fault_type)
-        self._trace.record(now, TraceEventType.DATA_LOSS, detail="all replicas faulty")
+        self._trace.record(
+            now, TraceEventType.DATA_LOSS, detail="loss threshold reached"
+        )
         self._engine.stop()
 
     def _start_repair(self, index: int, fault_type: FaultType) -> None:
@@ -525,6 +550,7 @@ def system_from_fault_model(
     audits_per_year: Optional[float] = None,
     trace: bool = False,
     use_multiplicative_correlation: bool = True,
+    scheme: Optional["RedundancyScheme"] = None,
 ) -> ReplicatedStorageSystem:
     """Build a simulator matching a :class:`FaultModel` parameter set.
 
@@ -532,8 +558,18 @@ def system_from_fault_model(
     2 × MDL, the inverse of the paper's "MDL is half the scrub period")
     unless ``audits_per_year`` overrides it.  Repair times are
     deterministic at ``MRV`` / ``MRL``.  The paper's multiplicative
-    correlation is applied unless disabled.
+    correlation is applied unless disabled.  Passing an (n, k)
+    ``scheme`` stores ``n`` fragments with loss at ``n - k + 1``
+    simultaneously faulty; ``replicas`` is ignored then.
     """
+    loss_threshold = None
+    if scheme is not None:
+        replicas = scheme.n
+        # For k = 1 the threshold equals the replica count, which is the
+        # config's default — keeping the built config identical to the
+        # historical one for plain replication.
+        if scheme.loss_threshold != scheme.n:
+            loss_threshold = scheme.loss_threshold
     if streams is None:
         streams = RandomStreams(seed=0)
     from repro.simulation.scrubbing import audit_interval_for
@@ -562,5 +598,6 @@ def system_from_fault_model(
         ),
         correlation=correlation,
         trace=trace,
+        loss_threshold=loss_threshold,
     )
     return ReplicatedStorageSystem(config, streams)

@@ -43,6 +43,7 @@ from repro.storage.costs import (
     CostModel,
     StorageCostBreakdown,
     replication_cost,
+    scheme_storage_cost,
     cost_per_terabyte_year,
     compare_drive_costs,
 )
@@ -90,6 +91,7 @@ __all__ = [
     "CostModel",
     "StorageCostBreakdown",
     "replication_cost",
+    "scheme_storage_cost",
     "cost_per_terabyte_year",
     "compare_drive_costs",
     "Site",

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.core.redundancy import RedundancyScheme
 from repro.core.units import HOURS_PER_YEAR
 from repro.storage.drives import DriveSpec
 from repro.storage.media import MediaSpec
@@ -130,30 +131,72 @@ def replication_cost(
     Raises:
         ValueError: for non-positive dataset size or replica count.
     """
-    if dataset_tb <= 0:
-        raise ValueError("dataset_tb must be positive")
     if replicas < 1:
         raise ValueError("replicas must be at least 1")
-    if audits_per_replica_year < 0 or expected_repairs_per_replica_year < 0:
+    return scheme_storage_cost(
+        cost_model,
+        dataset_tb,
+        RedundancyScheme(n=replicas, k=1),
+        audits_per_fragment_year=audits_per_replica_year,
+        expected_repairs_per_fragment_year=expected_repairs_per_replica_year,
+        independent_sites=independent_sites,
+    )
+
+
+def scheme_storage_cost(
+    cost_model: CostModel,
+    dataset_tb: float,
+    scheme: RedundancyScheme,
+    audits_per_fragment_year: float = 0.0,
+    expected_repairs_per_fragment_year: float = 0.0,
+    independent_sites: Optional[int] = None,
+) -> StorageCostBreakdown:
+    """Annualised cost of an (n, k) redundancy scheme over ``dataset_tb``.
+
+    Generalises :func:`replication_cost`: the raw bytes stored are
+    ``dataset_tb * n / k`` (each of the ``n`` fragments holds ``1/k`` of
+    the collection), so hardware and power scale with the storage
+    overhead while administration and auditing scale with the fragment
+    count.  Repairing one fragment must read ``k`` surviving fragments,
+    so each repair event is charged ``k`` times the per-event cost.
+    ``k = 1`` reproduces :func:`replication_cost` exactly.
+
+    Args:
+        cost_model: unit costs (per-replica rates apply per fragment).
+        dataset_tb: size of the preserved collection in terabytes.
+        scheme: the (n, k) redundancy scheme.
+        audits_per_fragment_year: audit passes per fragment per year.
+        expected_repairs_per_fragment_year: expected repair actions per
+            fragment per year.
+        independent_sites: number of distinct sites used; defaults to the
+            fragment count (full geographic independence).
+
+    Raises:
+        ValueError: for non-positive dataset size or invalid rates/sites.
+    """
+    if dataset_tb <= 0:
+        raise ValueError("dataset_tb must be positive")
+    if audits_per_fragment_year < 0 or expected_repairs_per_fragment_year < 0:
         raise ValueError("rates must be non-negative")
-    sites = independent_sites if independent_sites is not None else replicas
-    if sites < 1 or sites > replicas:
+    sites = independent_sites if independent_sites is not None else scheme.n
+    if sites < 1 or sites > scheme.n:
         raise ValueError("independent_sites must be between 1 and replicas")
 
+    stored_tb = dataset_tb * scheme.storage_overhead
     hardware = (
         cost_model.hardware_cost_per_tb
-        * dataset_tb
-        * replicas
+        * stored_tb
         / cost_model.hardware_lifetime_years
     )
-    power = cost_model.power_cooling_per_tb_year * dataset_tb * replicas
-    administration = cost_model.admin_cost_per_replica_year * replicas
+    power = cost_model.power_cooling_per_tb_year * stored_tb
+    administration = cost_model.admin_cost_per_replica_year * scheme.n
     site_cost = cost_model.site_cost_per_year * max(sites - 1, 0)
-    audits = cost_model.audit_cost_per_pass * audits_per_replica_year * replicas
+    audits = cost_model.audit_cost_per_pass * audits_per_fragment_year * scheme.n
     repairs = (
         cost_model.repair_cost_per_event
-        * expected_repairs_per_replica_year
-        * replicas
+        * expected_repairs_per_fragment_year
+        * scheme.n
+        * scheme.repair_fragments_read
     )
     return StorageCostBreakdown(
         hardware_per_year=hardware,

@@ -122,15 +122,18 @@ def _analytic_mttdl_hours(scenario: Scenario) -> tuple:
     """(mttdl_hours, convention) under the closed forms."""
     spec = scenario.system
     adjusted = audit_adjusted_model(spec.model, spec.audits_per_year)
-    if spec.replicas == 2:
+    if spec.replicas == 2 and spec.effective_scheme().is_replication:
         return mirrored_mttdl(adjusted), "paper"
     if spec.replicas < 2:
         raise ValueError(
             "the analytic engine needs at least two replicas"
         )
-    # r-way generalisation in simulator-consistent semantics (chained
+    # (n, k) generalisation in simulator-consistent semantics (chained
     # residual windows); the paper's Eq. 12 ignores latent faults.
-    return screen_mttdl_hours(adjusted, spec.replicas), "simulator"
+    return (
+        screen_mttdl_hours(adjusted, spec.replicas, scheme=spec.scheme),
+        "simulator",
+    )
 
 
 def _run_point_estimate(scenario: Scenario) -> StudyResult:
@@ -167,6 +170,7 @@ def _run_point_estimate(scenario: Scenario) -> StudyResult:
             max_time=scenario.max_time_hours,
             replicas=spec.replicas,
             audits_per_year=spec.audits_per_year,
+            scheme=spec.scheme,
             backend=backend,
             target_relative_error=policy.target_relative_error,
             max_trials=policy.max_trials,
@@ -182,6 +186,7 @@ def _run_point_estimate(scenario: Scenario) -> StudyResult:
             seed=policy.seed,
             replicas=spec.replicas,
             audits_per_year=spec.audits_per_year,
+            scheme=spec.scheme,
             backend=backend,
             target_relative_error=policy.target_relative_error,
             max_trials=policy.max_trials,
@@ -190,7 +195,12 @@ def _run_point_estimate(scenario: Scenario) -> StudyResult:
         )
         units = "probability"
     details: Dict[str, object] = {}
-    if policy.engine == "auto" and policy.cross_check and spec.replicas == 2:
+    if (
+        policy.engine == "auto"
+        and policy.cross_check
+        and spec.replicas == 2
+        and spec.effective_scheme().is_replication
+    ):
         details["cross_check"] = _cross_check(scenario, estimate)
     return StudyResult.from_estimate(
         question, policy.engine, estimate, units, details
@@ -381,6 +391,7 @@ def _simulated_sweep(
                 max_time=scenario.max_time_hours,
                 replicas=system.replicas,
                 audits_per_year=rate,
+                scheme=system.scheme,
                 backend=backend,
                 target_relative_error=policy.target_relative_error,
                 max_trials=policy.max_trials,
@@ -413,13 +424,14 @@ def _simulated_sweep(
                 max_time=scenario.max_time_hours,
                 replicas=system.replicas,
                 audits_per_year=system.audits_per_year,
+                scheme=system.scheme,
                 backend=backend,
                 target_relative_error=policy.target_relative_error,
                 max_trials=policy.max_trials,
                 method=method,
                 bias=policy.bias,
             )
-            if system.replicas == 2:
+            if system.replicas == 2 and system.effective_scheme().is_replication:
                 analytic.append(
                     mirrored_mttdl(
                         audit_adjusted_model(modified, system.audits_per_year)
@@ -433,6 +445,7 @@ def _simulated_sweep(
                 seed=policy.seed,
                 replicas=system.replicas,
                 audits_per_year=system.audits_per_year,
+                scheme=system.scheme,
                 backend=backend,
                 target_relative_error=policy.target_relative_error,
                 max_trials=policy.max_trials,

@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
 
 from repro.core.parameters import FaultModel
+from repro.core.redundancy import RedundancyScheme
 from repro.core.sensitivity import PARAMETER_FIELDS
 from repro.fleet.timeline import FleetTimeline
 from repro.optimize.evaluate import DEFAULT_SCREEN_SLACK
@@ -123,6 +124,9 @@ def _space_from_dict(payload: Dict[str, object]) -> DesignSpace:
         audit_rates=tuple(float(a) for a in payload["audit_rates"]),
         placements=tuple(str(p) for p in payload["placements"]),
         site_cost_per_year=float(payload.get("site_cost_per_year", 0.0)),
+        erasure_schemes=tuple(
+            str(s) for s in payload.get("erasure_schemes", ())
+        ),
     )
 
 
@@ -136,33 +140,57 @@ class SystemSpec:
         audits_per_year: overrides the model-derived audit grid in the
             simulators (and folds into ``MDL`` for the closed forms,
             matching :func:`repro.analysis.sweep.audit_adjusted_model`).
+        scheme: optional (n, k) redundancy scheme; when set, ``replicas``
+            is forced to the fragment count ``n`` and data is lost at
+            ``n - k + 1`` simultaneous faults instead of ``n``.  ``None``
+            keeps plain r-way replication (and the historical
+            serialisation, so existing content hashes are unchanged).
     """
 
     model: FaultModel
     replicas: int = 2
     audits_per_year: Optional[float] = None
+    scheme: Optional[RedundancyScheme] = None
 
     def __post_init__(self) -> None:
+        if self.scheme is not None:
+            object.__setattr__(self, "replicas", self.scheme.n)
         if self.replicas < 1:
             raise ValueError("replicas must be at least 1")
         if self.audits_per_year is not None and self.audits_per_year < 0:
             raise ValueError("audits_per_year must be non-negative")
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "model": self.model.as_dict(),
             "replicas": self.replicas,
             "audits_per_year": self.audits_per_year,
         }
+        # Conditional so replication scenarios hash exactly as before.
+        if self.scheme is not None:
+            payload["scheme"] = self.scheme.as_dict()
+        return payload
 
     @staticmethod
     def from_dict(payload: Dict[str, object]) -> "SystemSpec":
         audits = payload.get("audits_per_year")
+        scheme = payload.get("scheme")
         return SystemSpec(
             model=_model_from_dict(payload["model"]),
             replicas=int(payload.get("replicas", 2)),
             audits_per_year=None if audits is None else float(audits),
+            scheme=(
+                RedundancyScheme.from_dict(scheme)
+                if scheme is not None
+                else None
+            ),
         )
+
+    def effective_scheme(self) -> RedundancyScheme:
+        """The scheme in force (plain replication when unset)."""
+        if self.scheme is not None:
+            return self.scheme
+        return RedundancyScheme(n=self.replicas, k=1)
 
 
 @dataclass(frozen=True)
@@ -360,7 +388,10 @@ class Scenario:
                     "splitting estimates mission loss probabilities; use "
                     "question='loss_probability' or engine='is' for the MTTDL"
                 )
-            if engine == "markov" and self.system.replicas != 2:
+            if engine == "markov" and not (
+                self.system.replicas == 2
+                and self.system.effective_scheme().is_replication
+            ):
                 raise ValueError(
                     "the markov engine evaluates mirrored pairs "
                     "(replicas=2) only"

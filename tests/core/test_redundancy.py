@@ -1,0 +1,210 @@
+"""Tests for the first-class redundancy-scheme abstraction."""
+
+import math
+
+import pytest
+
+from repro.baselines.weatherspoon import (
+    equivalent_replication_for_durability,
+    storage_overhead_comparison,
+)
+from repro.core.parameters import FaultModel
+from repro.core.redundancy import (
+    ErasureCode,
+    RedundancyScheme,
+    Replication,
+    parse_scheme,
+    resolve_scheme,
+    scheme_loss_rate,
+    scheme_mttdl_eq12,
+    scheme_mttdl_hours,
+)
+from repro.core.replication import (
+    fragments_needed_for_target,
+    replicas_needed_for_target,
+    replicated_mttdl,
+)
+
+
+@pytest.fixture
+def model():
+    return FaultModel(
+        mean_time_to_visible=1.4e6,
+        mean_time_to_latent=2.8e5,
+        mean_repair_visible=1.0 / 3.0,
+        mean_repair_latent=1.0 / 3.0,
+        mean_detect_latent=1460.0,
+        correlation_factor=1.0,
+    )
+
+
+class TestRedundancyScheme:
+    def test_replication_factory(self):
+        scheme = Replication(3)
+        assert scheme == RedundancyScheme(n=3, k=1)
+        assert scheme.is_replication
+        assert scheme.loss_threshold == 3
+        assert scheme.max_tolerable_faults == 2
+        assert scheme.storage_overhead == 3.0
+        assert scheme.repair_fragments_read == 1
+
+    def test_erasure_factory(self):
+        scheme = ErasureCode(6, 4)
+        assert not scheme.is_replication
+        assert scheme.loss_threshold == 3
+        assert scheme.max_tolerable_faults == 2
+        assert scheme.storage_overhead == 1.5
+        assert scheme.repair_fragments_read == 4
+
+    @pytest.mark.parametrize("n,k", [(0, 1), (3, 0), (3, 4), (-1, -1)])
+    def test_invalid_parameters_rejected(self, n, k):
+        with pytest.raises(ValueError):
+            RedundancyScheme(n=n, k=k)
+
+    def test_describe_and_key(self):
+        assert Replication(3).describe() == "3-way replication"
+        assert ErasureCode(6, 4).describe() == "EC(6,4)"
+        assert ErasureCode(6, 4).key() == "6,4"
+
+    def test_dict_roundtrip(self):
+        scheme = ErasureCode(9, 6)
+        assert RedundancyScheme.from_dict(scheme.as_dict()) == scheme
+
+    def test_parse_scheme(self):
+        assert parse_scheme("6,4") == ErasureCode(6, 4)
+        assert parse_scheme("3") == Replication(3)
+        assert parse_scheme(" 6 , 4 ") == ErasureCode(6, 4)
+        with pytest.raises(ValueError):
+            parse_scheme("6,4,2")
+        with pytest.raises(ValueError):
+            parse_scheme("six,four")
+
+    def test_resolve_scheme_precedence(self):
+        assert resolve_scheme(ErasureCode(6, 4), 3) == ErasureCode(6, 4)
+        assert resolve_scheme("6,4", None) == ErasureCode(6, 4)
+        assert resolve_scheme(None, 3) == Replication(3)
+        with pytest.raises(ValueError):
+            resolve_scheme(None, None)
+
+
+class TestSchemeClosedForms:
+    def test_replication_special_case_matches_rare_event_owner(self, model):
+        from repro.simulation.rare_event import analytic_loss_rate
+
+        for r in (2, 3, 4):
+            assert scheme_loss_rate(model, Replication(r)) == (
+                analytic_loss_rate(model, r)
+            )
+
+    def test_erasure_loses_more_than_replication_same_n(self, model):
+        # Same fragment count, higher k => smaller loss threshold =>
+        # strictly higher loss rate.
+        rates = [
+            scheme_loss_rate(model, RedundancyScheme(n=4, k=k))
+            for k in (1, 2, 3)
+        ]
+        assert rates[0] < rates[1] < rates[2]
+
+    def test_mttdl_hours_inverts_rate(self, model):
+        scheme = ErasureCode(6, 4)
+        rate = scheme_loss_rate(model, scheme)
+        assert scheme_mttdl_hours(model, scheme) == pytest.approx(1.0 / rate)
+
+    def test_eq12_replication_special_case(self):
+        for r in (1, 2, 3, 5):
+            assert scheme_mttdl_eq12(1.4e6, 1.0 / 3.0, Replication(r)) == (
+                replicated_mttdl(1.4e6, 1.0 / 3.0, r)
+            )
+
+    def test_eq12_erasure_monotone_in_k(self):
+        # Fixing n, each extra required fragment removes one tolerated
+        # fault and must cost reliability.
+        values = [
+            scheme_mttdl_eq12(1.4e6, 1.0 / 3.0, RedundancyScheme(n=6, k=k))
+            for k in (1, 2, 4, 6)
+        ]
+        assert values == sorted(values, reverse=True)
+        # n == k tolerates nothing: MTTDL collapses to one mean fault
+        # time shared across n fragments' combined exposure.
+        assert values[-1] == pytest.approx(1.4e6)
+
+
+class TestFragmentsNeededForTarget:
+    def test_reduces_to_replicas_needed_for_k1(self):
+        target = 1e9
+        assert fragments_needed_for_target(
+            10, 1, 1.4e6, 1.0 / 3.0, target
+        ) == replicas_needed_for_target(
+            1.4e6, 1.0 / 3.0, target, max_replicas=10
+        )
+
+    def test_higher_k_needs_more_fragments(self):
+        target = 1e12
+        n1 = fragments_needed_for_target(20, 1, 1.4e6, 1.0 / 3.0, target)
+        n4 = fragments_needed_for_target(20, 4, 1.4e6, 1.0 / 3.0, target)
+        assert n4 >= n1 + 3  # at least the k-1 extra fragments
+
+    def test_result_meets_target_and_predecessor_does_not(self):
+        target = 1e12
+        k = 3
+        n = fragments_needed_for_target(20, k, 1.4e6, 1.0 / 3.0, target)
+        scheme = RedundancyScheme(n=n, k=k)
+        assert scheme_mttdl_eq12(1.4e6, 1.0 / 3.0, scheme) >= target
+        if n > k:
+            below = RedundancyScheme(n=n - 1, k=k)
+            assert scheme_mttdl_eq12(1.4e6, 1.0 / 3.0, below) < target
+
+    def test_unreachable_target_raises(self):
+        with pytest.raises(ValueError):
+            fragments_needed_for_target(3, 3, 1.4e6, 1.0 / 3.0, 1e30)
+
+
+class TestWeatherspoonCrossCheck:
+    """Tie the scheme abstraction to the erasure-coding baseline."""
+
+    def test_storage_overhead_matches_baseline(self):
+        for (n, k) in [(6, 4), (9, 6), (16, 12)]:
+            scheme = ErasureCode(n, k)
+            comparison = storage_overhead_comparison(n, k, replicas=3)
+            assert scheme.storage_overhead == pytest.approx(
+                comparison["erasure_overhead"]
+            )
+            assert comparison["erasure_savings_factor"] == pytest.approx(
+                3.0 / scheme.storage_overhead
+            )
+
+    def test_erasure_beats_equivalent_replication_on_overhead(self):
+        # Weatherspoon's headline: matching an erasure code's durability
+        # with whole-object replication costs far more raw storage.
+        scheme = ErasureCode(16, 12)
+        replicas = equivalent_replication_for_durability(0.1, 16, 12)
+        replication = Replication(replicas)
+        assert replication.storage_overhead > scheme.storage_overhead
+
+    def test_loss_threshold_agrees_with_survival_boundary(self):
+        # The baseline's m-of-n survival boundary and the scheme's loss
+        # threshold describe the same event: with loss_threshold faults,
+        # only k - 1 fragments survive and reconstruction fails.
+        scheme = ErasureCode(6, 4)
+        survivors_at_loss = scheme.n - scheme.loss_threshold
+        assert survivors_at_loss == scheme.k - 1
+
+
+def test_scheme_mttdl_eq12_validates_inputs():
+    with pytest.raises(ValueError):
+        scheme_mttdl_eq12(0.0, 1.0, Replication(2))
+    with pytest.raises(ValueError):
+        scheme_mttdl_eq12(1e6, -1.0, Replication(2))
+    with pytest.raises(ValueError):
+        scheme_mttdl_eq12(1e6, 1.0, Replication(2), correlation_factor=0.0)
+
+
+def test_loss_rate_zero_when_no_faults():
+    model = FaultModel(
+        mean_time_to_visible=math.inf,
+        mean_time_to_latent=math.inf,
+        mean_repair_visible=1.0,
+        mean_repair_latent=1.0,
+        mean_detect_latent=1.0,
+    )
+    assert scheme_loss_rate(model, ErasureCode(6, 4)) == 0.0

@@ -1,0 +1,97 @@
+"""Tests for the generalised (n, k) birth-death Markov chain."""
+
+import pytest
+
+from repro.core.redundancy import ErasureCode, RedundancyScheme, Replication
+from repro.core.replication import replicated_mttdl
+from repro.core.redundancy import scheme_mttdl_eq12
+from repro.markov import (
+    build_replicated_chain,
+    build_scheme_chain,
+    loss_probability_over_time,
+    mean_time_to_absorption,
+    replicated_mttdl_markov,
+    scheme_mttdl_markov,
+)
+
+MV = 1.4e6
+MR = 1.0 / 3.0
+
+
+class TestBuildSchemeChain:
+    def test_state_count_is_loss_threshold_plus_one(self):
+        chain = build_scheme_chain(MV, MR, ErasureCode(6, 4))
+        # 0..3 faulty fragments; 3 = n - k + 1 is absorbing.
+        assert len(chain.states) == 4
+        absorbing = [s for s in chain.states if chain.is_absorbing(s)]
+        assert len(absorbing) == 1
+
+    def test_replicated_chain_is_thin_wrapper(self):
+        for r in (2, 3, 5):
+            direct = build_replicated_chain(MV, MR, r)
+            via_scheme = build_scheme_chain(MV, MR, Replication(r))
+            assert direct.states == via_scheme.states
+            for source in direct.states:
+                for target in direct.states:
+                    assert direct.rate(source, target) == (
+                        via_scheme.rate(source, target)
+                    )
+
+    def test_replicated_mttdl_markov_equivalence(self):
+        for r in (2, 3, 4):
+            assert replicated_mttdl_markov(MV, MR, r) == (
+                scheme_mttdl_markov(MV, MR, Replication(r))
+            )
+
+    def test_erasure_mttdl_between_adjacent_replication_degrees(self):
+        # EC(n, k) tolerates n - k faults, so its MTTDL sits between
+        # the replication degrees with the same tolerated-fault count
+        # (r = n - k + 1, fewer fragments exposed) and one more.
+        ec = scheme_mttdl_markov(MV, MR, ErasureCode(4, 2))
+        r3 = scheme_mttdl_markov(MV, MR, Replication(3))
+        assert ec < r3  # same tolerated faults, more fragments faulting
+
+    def test_mttdl_decreases_with_k_at_fixed_n(self):
+        values = [
+            scheme_mttdl_markov(MV, MR, RedundancyScheme(n=6, k=k))
+            for k in (1, 2, 3, 4, 5, 6)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_agrees_with_generalised_eq12_in_reliable_regime(self):
+        # Eq. 12 tracks one fragment's exposure (no survivor-count
+        # multiplicity), so compare against the chain built the same way
+        # — the flag exists precisely for this like-for-like check.
+        for scheme in (Replication(3), ErasureCode(4, 2), ErasureCode(6, 4)):
+            exact = scheme_mttdl_markov(
+                MV, MR, scheme, scale_fault_rate_with_survivors=False
+            )
+            approx = scheme_mttdl_eq12(MV, MR, scheme)
+            assert approx == pytest.approx(exact, rel=0.05)
+
+    def test_parallel_repair_never_hurts(self):
+        scheme = ErasureCode(6, 4)
+        serial = scheme_mttdl_markov(MV, MR, scheme, parallel_repair=False)
+        parallel = scheme_mttdl_markov(MV, MR, scheme, parallel_repair=True)
+        assert parallel >= serial
+
+    def test_correlation_shortens_mttdl(self):
+        scheme = ErasureCode(6, 4)
+        independent = scheme_mttdl_markov(MV, MR, scheme, correlation_factor=1.0)
+        correlated = scheme_mttdl_markov(MV, MR, scheme, correlation_factor=0.01)
+        assert correlated < independent
+
+    def test_transient_loss_probability_monotone(self):
+        chain = build_scheme_chain(1e4, 100.0, ErasureCode(4, 2))
+        probabilities = [
+            loss_probability_over_time(chain, t)
+            for t in (1e3, 1e4, 1e5, 1e6)
+        ]
+        assert probabilities == sorted(probabilities)
+        assert 0.0 <= probabilities[0] <= probabilities[-1] <= 1.0
+
+    def test_mean_time_to_absorption_start_state(self):
+        chain = build_scheme_chain(MV, MR, ErasureCode(4, 2))
+        assert mean_time_to_absorption(chain, chain.states[0]) == (
+            scheme_mttdl_markov(MV, MR, ErasureCode(4, 2))
+        )

@@ -1,0 +1,209 @@
+"""Tests for the planner's erasure-coding design axis."""
+
+import pytest
+
+from repro.core.redundancy import ErasureCode, Replication
+from repro.optimize.evaluate import (
+    EvaluationSettings,
+    refine,
+    screen,
+    screen_loss_rate,
+)
+from repro.optimize.space import CandidateDesign, DesignSpace
+from repro.storage.costs import (
+    CostModel,
+    replication_cost,
+    scheme_storage_cost,
+)
+
+
+class TestSchemeStorageCost:
+    MODEL = CostModel(hardware_cost_per_tb=100.0, site_cost_per_year=200.0)
+
+    def test_k1_identical_to_replication_cost(self):
+        for r in (1, 2, 4):
+            assert scheme_storage_cost(
+                self.MODEL,
+                10.0,
+                Replication(r),
+                audits_per_fragment_year=12.0,
+                expected_repairs_per_fragment_year=0.5,
+            ) == replication_cost(
+                self.MODEL,
+                10.0,
+                r,
+                audits_per_replica_year=12.0,
+                expected_repairs_per_replica_year=0.5,
+            )
+
+    def test_hardware_scales_with_overhead_not_fragments(self):
+        # EC(6,4) stores 1.5x the data across 6 fragments: hardware
+        # tracks the 1.5x, administration tracks the 6 fragments.
+        ec = scheme_storage_cost(self.MODEL, 10.0, ErasureCode(6, 4))
+        rep = scheme_storage_cost(self.MODEL, 10.0, Replication(6))
+        assert ec.hardware_per_year == pytest.approx(
+            rep.hardware_per_year * 1.5 / 6.0
+        )
+        assert ec.administration_per_year == rep.administration_per_year
+
+    def test_repairs_charge_k_fragment_reads(self):
+        ec = scheme_storage_cost(
+            self.MODEL,
+            10.0,
+            ErasureCode(6, 4),
+            expected_repairs_per_fragment_year=1.0,
+        )
+        rep = scheme_storage_cost(
+            self.MODEL,
+            10.0,
+            Replication(6),
+            expected_repairs_per_fragment_year=1.0,
+        )
+        assert ec.repairs_per_year_cost == pytest.approx(
+            rep.repairs_per_year_cost * 4.0
+        )
+
+    def test_sites_bounded_by_fragment_count(self):
+        with pytest.raises(ValueError):
+            scheme_storage_cost(
+                self.MODEL, 10.0, ErasureCode(4, 2), independent_sites=5
+            )
+
+
+class TestCandidateDesignScheme:
+    def test_scheme_forces_replica_count(self):
+        candidate = CandidateDesign(
+            medium="drive:cheetah",
+            replicas=2,
+            audits_per_year=12.0,
+            placement="multi",
+            dataset_tb=10.0,
+            scheme=ErasureCode(6, 4),
+        )
+        assert candidate.replicas == 6
+
+    def test_key_and_dict_are_scheme_conditional(self):
+        plain = CandidateDesign(
+            medium="drive:cheetah",
+            replicas=3,
+            audits_per_year=12.0,
+            placement="multi",
+            dataset_tb=10.0,
+        )
+        assert "scheme" not in plain.key()
+        assert "scheme" not in plain.as_dict()
+        coded = CandidateDesign(
+            medium="drive:cheetah",
+            replicas=6,
+            audits_per_year=12.0,
+            placement="multi",
+            dataset_tb=10.0,
+            scheme=ErasureCode(6, 4),
+        )
+        assert coded.key().endswith("|scheme=6,4")
+        rebuilt = CandidateDesign.from_dict(coded.as_dict())
+        assert rebuilt == coded
+
+    def test_erasure_candidate_cheaper_than_same_n_replication(self):
+        kwargs = dict(
+            medium="drive:cheetah",
+            audits_per_year=12.0,
+            placement="multi",
+            dataset_tb=10.0,
+        )
+        coded = CandidateDesign(replicas=6, scheme=ErasureCode(6, 4), **kwargs)
+        replicated = CandidateDesign(replicas=6, **kwargs)
+        assert coded.annual_cost() < replicated.annual_cost()
+
+
+class TestDesignSpaceErasureAxis:
+    def test_size_counts_erasure_schemes(self):
+        base = DesignSpace(
+            media=("drive:cheetah",),
+            replica_counts=(2, 3),
+            audit_rates=(12.0,),
+            placements=("multi",),
+        )
+        grown = DesignSpace(
+            media=("drive:cheetah",),
+            replica_counts=(2, 3),
+            audit_rates=(12.0,),
+            placements=("multi",),
+            erasure_schemes=("6,4", "9,6"),
+        )
+        assert grown.size == base.size + 2
+
+    def test_candidates_enumerate_replication_first(self):
+        space = DesignSpace(
+            media=("drive:cheetah",),
+            replica_counts=(2,),
+            audit_rates=(12.0,),
+            placements=("multi",),
+            erasure_schemes=("6,4",),
+        )
+        candidates = list(space.candidates())
+        assert len(candidates) == 2
+        assert candidates[0].scheme is None
+        assert candidates[1].scheme == ErasureCode(6, 4)
+
+    def test_as_dict_conditional_for_hash_stability(self):
+        assert "erasure_schemes" not in DesignSpace().as_dict()
+        grown = DesignSpace(erasure_schemes=("6,4",))
+        assert grown.as_dict()["erasure_schemes"] == ["6,4"]
+
+    def test_invalid_scheme_strings_rejected(self):
+        with pytest.raises(ValueError):
+            DesignSpace(erasure_schemes=("6,4,2",))
+        with pytest.raises(ValueError):
+            DesignSpace(erasure_schemes=("1,1",))
+
+
+class TestSchemeAwareEvaluation:
+    SETTINGS = EvaluationSettings(mission_years=50.0, trials=200, seed=0)
+
+    def _candidate(self, scheme):
+        return CandidateDesign(
+            medium="drive:cheetah",
+            replicas=scheme.n if scheme else 3,
+            audits_per_year=12.0,
+            placement="multi",
+            dataset_tb=10.0,
+            scheme=scheme,
+        )
+
+    def test_screen_loss_rate_scheme_aware(self):
+        candidate = self._candidate(ErasureCode(4, 2))
+        model = candidate.fault_model()
+        coded = screen_loss_rate(model, 4, scheme=ErasureCode(4, 2))
+        plain = screen_loss_rate(model, 4)
+        assert coded > plain  # smaller loss threshold, higher rate
+
+    def test_screen_n1_scheme_bit_for_bit(self):
+        plain = screen(self._candidate(None), self.SETTINGS)
+        coded = screen(self._candidate(Replication(3)), self.SETTINGS)
+        assert coded.analytic_mttdl_hours == plain.analytic_mttdl_hours
+        assert coded.analytic_loss_probability == (
+            plain.analytic_loss_probability
+        )
+
+    def test_erasure_screen_less_reliable_than_same_n_replication(self):
+        coded = screen(self._candidate(ErasureCode(4, 2)), self.SETTINGS)
+        replicated = screen(
+            CandidateDesign(
+                medium="drive:cheetah",
+                replicas=4,
+                audits_per_year=12.0,
+                placement="multi",
+                dataset_tb=10.0,
+            ),
+            self.SETTINGS,
+        )
+        assert coded.analytic_loss_probability > (
+            replicated.analytic_loss_probability
+        )
+
+    def test_refine_attaches_simulation_to_erasure_candidate(self):
+        evaluation = screen(self._candidate(ErasureCode(4, 2)), self.SETTINGS)
+        refined = refine(evaluation, self.SETTINGS)
+        assert refined.simulated is not None
+        assert refined.simulated.trials >= self.SETTINGS.trials

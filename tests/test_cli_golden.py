@@ -58,6 +58,23 @@ COMMANDS = {
         "fleet", "--members", "100", "--years", "5", "--refresh-years", "2",
         "--seed", "0", "--json",
     ],
+    # Scheme-bearing variants: the envelope's scenario must carry the
+    # resolved (n, k) scheme.  The scheme-free goldens above must never
+    # change — replication payloads serialise exactly as before.
+    "simulate-loss-erasure": (
+        ["simulate"] + FAST_MODEL
+        + ["--metric", "loss", "--mission-years", "0.01", "--scheme", "3,2",
+           "--trials", "100", "--seed", "0", "--json"]
+    ),
+    "optimize-erasure": [
+        "optimize", "--budget", "1000000000", "--media", "drive:cheetah",
+        "--replicas", "2", "--scheme", "4,2", "--audit-rates", "12",
+        "--trials", "100", "--seed", "0", "--json",
+    ],
+    "fleet-erasure": [
+        "fleet", "--members", "100", "--years", "5", "--refresh-years", "2",
+        "--scheme", "3,2", "--seed", "0", "--json",
+    ],
 }
 
 
@@ -135,3 +152,23 @@ def test_every_payload_carries_command_and_schema(name):
     assert payload["scenario"]["question"] in (
         "mttdl", "loss_probability", "frontier", "fleet_survival", "sweep",
     )
+
+
+def test_scheme_bearing_payloads_carry_resolved_scheme():
+    simulate = _run_cli(COMMANDS["simulate-loss-erasure"])
+    assert simulate["scenario"]["system"]["scheme"] == {"n": 3, "k": 2}
+    assert simulate["scenario"]["system"]["replicas"] == 3
+    optimize = _run_cli(COMMANDS["optimize-erasure"])
+    assert optimize["scenario"]["space"]["erasure_schemes"] == ["4,2"]
+    fleet = _run_cli(COMMANDS["fleet-erasure"])
+    assert fleet["scenario"]["timeline"]["scheme"] == {"n": 3, "k": 2}
+
+
+def test_default_scheme_payloads_unchanged():
+    """Replication envelopes must not grow scheme keys."""
+    simulate = _run_cli(COMMANDS["simulate-mttdl"])
+    assert "scheme" not in simulate["scenario"]["system"]
+    optimize = _run_cli(COMMANDS["optimize"])
+    assert "erasure_schemes" not in optimize["scenario"]["space"]
+    fleet = _run_cli(COMMANDS["fleet"])
+    assert "scheme" not in fleet["scenario"]["timeline"]
