@@ -14,11 +14,11 @@ Both runs must produce bit-identical refinements: per-candidate seeds
 are spawned from the root seed, not from evaluation order.
 """
 
-import os
 import time
 
 import pytest
 
+from _harness import available_cores, trial_years_per_second
 from repro.analysis.tables import format_table
 from repro.optimize import DesignSpace, EvaluationSettings, optimize
 
@@ -41,13 +41,6 @@ JOBS = 4
 #: On a single-core host the pool cannot win; it must at least stay
 #: within this factor of the serial loop (process startup + pickling).
 SINGLE_CORE_OVERHEAD_LIMIT = 1.6
-
-
-def available_cores() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # platforms without sched_getaffinity
-        return os.cpu_count() or 1
 
 
 @pytest.mark.benchmark(group="e15 optimizer")
@@ -85,7 +78,12 @@ def test_bench_e15_optimizer(benchmark, experiment_printer):
             ],
         )
         + f"\npruned fraction: {serial.pruned_fraction:.0%} (target >= {PRUNE_TARGET:.0%})"
-        + f"\nparallel speedup: {speedup:.2f}x",
+        + f"\nparallel speedup: {speedup:.2f}x"
+        + "\nrefinement throughput: "
+        f"{trial_years_per_second(len(serial.refined) * SETTINGS.trials, SETTINGS.mission_years, serial_seconds):,.0f}"
+        " trial-yr/s serial, "
+        f"{trial_years_per_second(len(parallel.refined) * SETTINGS.trials, SETTINGS.mission_years, parallel_seconds):,.0f}"
+        f" trial-yr/s with {JOBS} jobs",
     )
 
     # Screening must do at least half the work analytically.

@@ -13,13 +13,16 @@ converge, and records the numbers in ``BENCH_e16.json`` so the perf
 trajectory is an artifact, not a commit-message claim.
 """
 
-import json
-import math
 import time
 from pathlib import Path
 
 import pytest
 
+from _harness import (
+    standard_trials_to_target,
+    trial_years_per_second,
+    write_artifact,
+)
 from repro.analysis.tables import format_table
 from repro.core.parameters import FaultModel
 from repro.core.units import HOURS_PER_YEAR
@@ -55,11 +58,6 @@ MISSION = 50.0 * HOURS_PER_YEAR
 TARGET_RELATIVE_ERROR = 0.1
 SPEEDUP_TARGET = 20.0
 ARTIFACT = Path("BENCH_e16.json")
-
-
-def standard_trials_to_target(p: float, relative_error: float) -> int:
-    """Trials a binomial estimator needs to reach a relative error."""
-    return math.ceil((1.0 - p) / (p * relative_error**2))
 
 
 @pytest.mark.benchmark(group="e16 rare-event acceleration")
@@ -130,6 +128,9 @@ def test_bench_e16_rare_event(benchmark, experiment_printer):
             "is_relative_error": weighted.relative_error,
             "is_effective_sample_size": weighted.effective_sample_size,
             "is_seconds": is_seconds,
+            "is_trial_years_per_second": trial_years_per_second(
+                is_trials, 50.0, is_seconds
+            ),
             "standard_trials_needed": std_trials_needed,
             "standard_losses_in_is_budget": std_same_budget.losses,
             "trials_ratio": trials_ratio,
@@ -143,7 +144,7 @@ def test_bench_e16_rare_event(benchmark, experiment_printer):
             "is_ci": [moderate_is_low, moderate_is_high],
         },
     }
-    ARTIFACT.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+    write_artifact(ARTIFACT, payload)
 
     experiment_printer(
         "E16: importance sampling vs standard Monte-Carlo "
@@ -157,6 +158,8 @@ def test_bench_e16_rare_event(benchmark, experiment_printer):
         )
         + f"\nexact (Markov): {exact:.4g}   bias factor: {bias:.0f}"
         + f"\ntrials ratio: {trials_ratio:.0f}x (target >= {SPEEDUP_TARGET:.0f}x)"
+        + "\nIS throughput: "
+        f"{trial_years_per_second(is_trials, 50.0, is_seconds):,.0f} trial-yr/s"
         + f"\nartifact: {ARTIFACT}",
     )
 

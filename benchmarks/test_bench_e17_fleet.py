@@ -15,7 +15,6 @@ costs).  Everything lands in ``BENCH_e17.json`` so the speedup and the
 anchor are artifacts, not commit-message claims.
 """
 
-import json
 import math
 import time
 from pathlib import Path
@@ -23,6 +22,12 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from _harness import (
+    intervals_overlap,
+    time_best_of,
+    trial_years_per_second,
+    write_artifact,
+)
 from repro.analysis.tables import format_table
 from repro.core.parameters import FaultModel
 from repro.core.units import HOURS_PER_YEAR
@@ -54,10 +59,6 @@ SPEEDUP_TARGET = 30.0
 ARTIFACT = Path("BENCH_e17.json")
 
 
-def intervals_overlap(a_low, a_high, b_low, b_high):
-    return a_low <= b_high and b_low <= a_high
-
-
 def run_event_loop(members, seed):
     """The per-member alternative: one event engine run per archive."""
     root = RandomStreams(seed=seed)
@@ -79,13 +80,9 @@ def test_bench_e17_fleet(benchmark, experiment_printer):
     event_losses, event_seconds = run_event_loop(MEMBERS, seed=17)
     # Best-of-three for the fast path, as in e14: one scheduling hiccup
     # must not fake a regression.
-    fleet_runs = []
-    for _ in range(3):
-        start = time.perf_counter()
-        result = simulate_fleet(timeline, MEMBERS, seed=17)
-        fleet_runs.append((result, time.perf_counter() - start))
-    fleet_result = fleet_runs[0][0]
-    fleet_seconds = min(seconds for _, seconds in fleet_runs)
+    fleet_result, fleet_seconds = time_best_of(
+        lambda: simulate_fleet(timeline, MEMBERS, seed=17)
+    )
     speedup = event_seconds / fleet_seconds
 
     benchmark(lambda: simulate_fleet(timeline, MEMBERS, seed=17))
@@ -129,6 +126,9 @@ def test_bench_e17_fleet(benchmark, experiment_printer):
             "fleet_seconds": fleet_seconds,
             "event_loop_seconds": event_seconds,
             "speedup": speedup,
+            "trial_years_per_second": trial_years_per_second(
+                MEMBERS, YEARS, fleet_seconds
+            ),
             "fleet_loss_fraction": fleet_estimate.mean,
             "fleet_ci": [fleet_low, fleet_high],
             "event_loop_loss_fraction": p_event,
@@ -146,7 +146,7 @@ def test_bench_e17_fleet(benchmark, experiment_printer):
             "cumulative_cost_per_member": demo_cost.tolist(),
         },
     }
-    ARTIFACT.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+    write_artifact(ARTIFACT, payload)
 
     experiment_printer(
         f"E17: fleet timeline simulator at {MEMBERS} members x "
@@ -164,6 +164,8 @@ def test_bench_e17_fleet(benchmark, experiment_printer):
             ],
         )
         + f"\nspeedup: {speedup:.0f}x (target >= {SPEEDUP_TARGET:.0f}x)"
+        + "\nfleet throughput: "
+        f"{trial_years_per_second(MEMBERS, YEARS, fleet_seconds):,.0f} trial-yr/s"
         + f"\n3-epoch demo: {len(demo_timeline.epochs)} epochs, "
         f"loss fraction {demo.tally.loss_fraction:.3f}, "
         f"final cost ${demo_cost[-1]:,.0f}/member"

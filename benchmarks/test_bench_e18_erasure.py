@@ -19,7 +19,6 @@ Everything lands in ``BENCH_e18.json`` so the speedup, the anchor, and
 the prune rate are artifacts, not commit-message claims.
 """
 
-import json
 import math
 import time
 from pathlib import Path
@@ -27,6 +26,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from _harness import intervals_overlap, trial_years_per_second, write_artifact
 from repro.analysis.tables import format_table
 from repro.core.parameters import FaultModel
 from repro.core.redundancy import ErasureCode
@@ -70,10 +70,6 @@ SPACE = DesignSpace(
     placements=("single", "multi"),
 )
 SETTINGS = EvaluationSettings(mission_years=50.0, trials=5000, seed=18)
-
-
-def intervals_overlap(a_low, a_high, b_low, b_high):
-    return a_low <= b_high and b_low <= a_high
 
 
 def run_event_loop(trials, seed):
@@ -157,6 +153,9 @@ def test_bench_e18_erasure(benchmark, experiment_printer):
             "batch_seconds": batch_seconds,
             "event_loop_seconds": event_seconds,
             "speedup": speedup,
+            "trial_years_per_second": trial_years_per_second(
+                EVENT_TRIALS, MISSION / HOURS_PER_YEAR, batch_seconds
+            ),
         },
         "markov_anchor": {
             "exact_loss_probability": exact,
@@ -179,7 +178,7 @@ def test_bench_e18_erasure(benchmark, experiment_printer):
             "seconds": plan_seconds,
         },
     }
-    ARTIFACT.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+    write_artifact(ARTIFACT, payload)
 
     experiment_printer(
         f"E18: (n, k) erasure generalisation — EC({SCHEME.n},{SCHEME.k}) "
@@ -193,6 +192,9 @@ def test_bench_e18_erasure(benchmark, experiment_printer):
             ],
         )
         + f"\nspeedup: {speedup:.0f}x (target >= {SPEEDUP_TARGET:.0f}x)"
+        + "\nbatch throughput: "
+        f"{trial_years_per_second(EVENT_TRIALS, MISSION / HOURS_PER_YEAR, batch_seconds):,.0f}"
+        " trial-yr/s"
         + f"\nplanner: {plan.candidates} candidates, "
         f"{plan.pruned_fraction:.0%} pruned "
         f"(target >= {PRUNE_TARGET:.0%}), "

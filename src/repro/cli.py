@@ -34,6 +34,9 @@ Sub-commands:
     rare-event importance sampling or multilevel splitting when almost
     every trial censors; ``standard`` forces the plain estimator on the
     chosen backend; ``is``/``splitting`` force a rare-event method.
+    ``--variance-reduction qmc|cv`` swaps in a variance-reduced batch
+    estimator; ``--profile`` records a setup/kernel/merge wall-time
+    breakdown in the result details.
 ``optimize``
     Budget-constrained planner: search a design space for the
     cost–reliability Pareto frontier and recommend a configuration for
@@ -138,6 +141,8 @@ def _answer(args: argparse.Namespace, scenario: study.Scenario) -> str:
             scenario,
             jobs=getattr(args, "jobs", 1),
             cache_dir=getattr(args, "cache_dir", None),
+            transport=getattr(args, "transport", "pickle"),
+            profile=getattr(args, "profile", False),
         )
     if getattr(args, "json", False):
         return study.render_json(args.command, scenario, result)
@@ -220,6 +225,11 @@ def _cmd_simulate(args: argparse.Namespace) -> str:
         # (event-backend auto piloting) escalates through the default
         # auto engine instead.
         engine = "auto"
+    if args.variance_reduction != "none" and args.method == "auto":
+        # A variance-reduced estimator replaces the sampling scheme, so
+        # it runs on the plain batch engine; an explicit conflicting
+        # --method still surfaces the policy's error.
+        engine = "batch"
     scheme = parse_scheme(args.scheme) if args.scheme is not None else None
     scenario = study.Scenario(
         question="mttdl" if args.metric == "mttdl" else "loss_probability",
@@ -237,6 +247,7 @@ def _cmd_simulate(args: argparse.Namespace) -> str:
             seed=args.seed,
             target_relative_error=args.target_relative_error,
             bias=args.bias,
+            variance_reduction=args.variance_reduction,
         ),
     )
     return _answer(args, scenario)
@@ -420,6 +431,15 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--target-relative-error", type=float, default=None,
                           help="adaptive sampling: extend until std error / mean "
                           "falls below this fraction")
+    simulate.add_argument("--variance-reduction",
+                          choices=["none", "qmc", "cv"], default="none",
+                          help="variance-reduced estimator on the plain batch "
+                          "engine: qmc = scrambled-Sobol clock pools, cv = "
+                          "conditional-Monte-Carlo control variate "
+                          "(threshold-2 schemes; default: none)")
+    simulate.add_argument("--profile", action="store_true",
+                          help="record a setup/kernel/merge wall-time "
+                          "breakdown in the result details")
     simulate.set_defaults(handler=_cmd_simulate)
 
     optimize_parser = subparsers.add_parser(
@@ -473,6 +493,11 @@ def build_parser() -> argparse.ArgumentParser:
     optimize_parser.add_argument("--cache-dir", default=None,
                                  help="directory for the content-hash result cache "
                                  "(default: no cache)")
+    optimize_parser.add_argument("--transport", choices=["pickle", "shm"],
+                                 default="pickle",
+                                 help="how parallel workers return refinement "
+                                 "results: pickle through the pool pipe, or shm "
+                                 "rows written into shared memory (default: pickle)")
     optimize_parser.set_defaults(handler=_cmd_optimize)
 
     fleet = subparsers.add_parser(
@@ -511,6 +536,14 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--cache-dir", default=None,
                        help="directory for the chunk tally cache "
                        "(default: no cache)")
+    fleet.add_argument("--transport", choices=["pickle", "shm"],
+                       default="pickle",
+                       help="how parallel workers return chunk tallies: pickle "
+                       "through the pool pipe, or shm rows written into "
+                       "shared memory (default: pickle)")
+    fleet.add_argument("--profile", action="store_true",
+                       help="record a setup/kernel/merge wall-time breakdown "
+                       "in the result details")
     fleet.set_defaults(handler=_cmd_fleet)
 
     return parser

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro import parallel
 from repro.fleet.aggregate import FleetTally
 from repro.fleet.population import simulate_fleet_chunk
 from repro.fleet.timeline import FleetTimeline
@@ -98,6 +99,13 @@ def _chunk_task(payload: Tuple[FleetTimeline, int, int, int]) -> FleetTally:
             timeline, size, seed=chunk_seed, schedule_seed=schedule_seed
         )
     )
+
+
+def _chunk_task_shm(payload) -> None:
+    """Shared-memory worker: write the tally row in place, return nothing."""
+    chunk_payload, spec, slot = payload
+    tally = _chunk_task(chunk_payload)
+    parallel.write_row(spec, slot, tally.as_row())
 
 
 @dataclass
@@ -208,6 +216,7 @@ def simulate_fleet(
     jobs: int = 1,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     cache_dir: Optional[Union[str, Path]] = None,
+    transport: str = "pickle",
 ) -> FleetResult:
     """Simulate a fleet of ``members`` archives through a timeline.
 
@@ -219,10 +228,15 @@ def simulate_fleet(
         chunk_size: members per chunk.
         cache_dir: directory for the chunk tally cache; ``None``
             disables caching.
+        transport: how parallel workers return their chunk tallies —
+            ``"pickle"`` through the pool's result pipe, ``"shm"`` by
+            writing fixed-width rows into a shared-memory block
+            (:mod:`repro.parallel`).  Identical results either way; the
+            serial path ignores the knob.
 
     Raises:
         ValueError: for a non-positive fleet size, chunk size or job
-            count.
+            count, or an unknown transport.
     """
     if members <= 0:
         raise ValueError("members must be positive")
@@ -230,6 +244,7 @@ def simulate_fleet(
         raise ValueError("chunk_size must be positive")
     if jobs < 1:
         raise ValueError("jobs must be at least 1")
+    parallel.check_transport(transport)
 
     cache = FleetChunkCache(cache_dir) if cache_dir is not None else None
     sizes = _chunk_sizes(members, chunk_size)
@@ -253,6 +268,28 @@ def simulate_fleet(
         payloads = [payload for _, payload in pending]
         if jobs == 1 or len(pending) == 1:
             results = [_chunk_task(payload) for payload in payloads]
+        elif transport == "shm":
+            workers = min(jobs, len(pending))
+            buffer = parallel.SharedResultBuffer(
+                rows=len(pending),
+                width=FleetTally.row_width(timeline.year_bins()),
+                dtype="int64",
+            )
+            try:
+                spec = buffer.spec()
+                shm_payloads = [
+                    (payload, spec, slot)
+                    for slot, payload in enumerate(payloads)
+                ]
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    # Drain the map so worker exceptions surface before
+                    # the rows are trusted.
+                    list(pool.map(_chunk_task_shm, shm_payloads))
+                results = [
+                    FleetTally.from_row(row) for row in buffer.array()
+                ]
+            finally:
+                buffer.destroy()
         else:
             workers = min(jobs, len(pending))
             with ProcessPoolExecutor(max_workers=workers) as pool:

@@ -22,21 +22,27 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
+from repro import parallel
 from repro.optimize.evaluate import (
     DEFAULT_SCREEN_SLACK,
     CandidateEvaluation,
     EvaluationSettings,
+    SimulatedLoss,
     refine,
     screen_candidates,
     survivors_for_refinement,
 )
 from repro.optimize.frontier import pareto_frontier
 from repro.optimize.space import DesignSpace
+from repro.simulation.rng import spawn_seed
 
 
 def evaluation_cache_key(
@@ -93,6 +99,54 @@ def _refine_task(
     """Top-level worker so the pool can pickle the refinement call."""
     evaluation, settings = payload
     return refine(evaluation, settings)
+
+
+# Shared-memory row encoding of a :class:`SimulatedLoss`.  The seed is
+# *not* in the row: it is a 128-bit spawn of the root seed and the
+# candidate key, both of which the parent already holds, so it is
+# recomputed on decode.  Trial counts are exact in float64 far beyond
+# any realistic budget (2**53).
+_SIMULATED_ROW_WIDTH = 8
+_METHOD_CODES = {"standard": 0, "is": 1, "splitting": 2, "qmc": 3, "cv": 4}
+_METHOD_BY_CODE = {code: name for name, code in _METHOD_CODES.items()}
+
+
+def _simulated_row(simulated: SimulatedLoss) -> np.ndarray:
+    ess = simulated.effective_sample_size
+    return np.array(
+        [
+            simulated.mean,
+            simulated.std_error,
+            float(simulated.trials),
+            float(simulated.losses),
+            simulated.ci_low,
+            simulated.ci_high,
+            float(_METHOD_CODES[simulated.method]),
+            math.nan if ess is None else ess,
+        ]
+    )
+
+
+def _simulated_from_row(row: np.ndarray, seed: int) -> SimulatedLoss:
+    ess = float(row[7])
+    return SimulatedLoss(
+        mean=float(row[0]),
+        std_error=float(row[1]),
+        trials=int(row[2]),
+        losses=int(row[3]),
+        ci_low=float(row[4]),
+        ci_high=float(row[5]),
+        seed=seed,
+        method=_METHOD_BY_CODE[int(row[6])],
+        effective_sample_size=None if math.isnan(ess) else ess,
+    )
+
+
+def _refine_task_shm(payload) -> None:
+    """Shared-memory worker: write the refinement row in place."""
+    refine_payload, spec, slot = payload
+    result = _refine_task(refine_payload)
+    parallel.write_row(spec, slot, _simulated_row(result.simulated))
 
 
 @dataclass
@@ -152,14 +206,19 @@ def refine_evaluations(
     settings: EvaluationSettings,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    transport: str = "pickle",
 ) -> Tuple[List[CandidateEvaluation], int, int]:
     """Refine the survivors, reusing cached results where possible.
 
     Returns ``(refined, new_evaluations, cache_hits)`` with ``refined``
-    in the same order as ``survivors``.
+    in the same order as ``survivors``.  ``transport="shm"`` has
+    parallel workers write their refinement rows into a shared-memory
+    block instead of pickling evaluations back (identical results; see
+    :mod:`repro.parallel`).
     """
     if jobs < 1:
         raise ValueError("jobs must be at least 1")
+    parallel.check_transport(transport)
     refined: Dict[int, CandidateEvaluation] = {}
     pending: List[Tuple[int, CandidateEvaluation]] = []
     cache_hits = 0
@@ -181,6 +240,37 @@ def refine_evaluations(
         payloads = [(evaluation, settings) for _, evaluation in pending]
         if jobs == 1 or len(pending) == 1:
             results = [_refine_task(payload) for payload in payloads]
+        elif transport == "shm":
+            workers = min(jobs, len(pending))
+            buffer = parallel.SharedResultBuffer(
+                rows=len(pending), width=_SIMULATED_ROW_WIDTH
+            )
+            try:
+                spec = buffer.spec()
+                shm_payloads = [
+                    (payload, spec, slot)
+                    for slot, payload in enumerate(payloads)
+                ]
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    list(pool.map(_refine_task_shm, shm_payloads))
+                rows = buffer.array()
+                # Rebuild each evaluation from the parent's own screened
+                # copy (same recipe as a cache hit); only the simulated
+                # refinement crossed process boundaries.
+                results = [
+                    replace(
+                        evaluation,
+                        simulated=_simulated_from_row(
+                            rows[slot],
+                            spawn_seed(
+                                settings.seed, evaluation.candidate.key()
+                            ),
+                        ),
+                    )
+                    for slot, (_, evaluation) in enumerate(pending)
+                ]
+            finally:
+                buffer.destroy()
         else:
             workers = min(jobs, len(pending))
             with ProcessPoolExecutor(max_workers=workers) as pool:
@@ -201,6 +291,7 @@ def optimize(
     cache_dir: Optional[Union[str, Path]] = None,
     slack: float = DEFAULT_SCREEN_SLACK,
     refine_survivors: bool = True,
+    transport: str = "pickle",
 ) -> OptimizationResult:
     """Search a design space and return its cost–reliability frontier.
 
@@ -216,6 +307,8 @@ def optimize(
             :func:`~repro.optimize.evaluate.survivors_for_refinement`).
         refine_survivors: skip Monte-Carlo entirely when ``False`` — the
             frontier is then extracted from the analytic screen alone.
+        transport: chunk-result transport for parallel refinement
+            (``"pickle"`` or ``"shm"``; see :mod:`repro.parallel`).
     """
     settings = settings or EvaluationSettings()
     cache = ResultCache(cache_dir) if cache_dir is not None else None
@@ -228,7 +321,7 @@ def optimize(
 
     if refine_survivors:
         refined, new_evaluations, cache_hits = refine_evaluations(
-            survivors, settings, jobs=jobs, cache=cache
+            survivors, settings, jobs=jobs, cache=cache, transport=transport
         )
     else:
         refined, new_evaluations, cache_hits = list(survivors), 0, 0

@@ -1,0 +1,93 @@
+"""Zero-copy result transport for the worker-pool runners.
+
+The fleet and optimizer runners fan chunks out over a
+:class:`~concurrent.futures.ProcessPoolExecutor`.  With the default
+``transport="pickle"`` every worker pickles its result object back
+through the pool's result pipe; with ``transport="shm"`` the parent
+allocates one :mod:`multiprocessing.shared_memory` block of fixed-width
+numeric rows and each worker writes its slot *in place*, so the only
+thing crossing the pipe is ``None``.  Both runners' results are already
+flat numeric summaries (a :class:`~repro.fleet.aggregate.FleetTally`, a
+:class:`~repro.optimize.evaluate.SimulatedLoss`), which is what makes a
+fixed-width row encoding lossless: the parent reconstructs the objects
+from the rows in the same chunk order the pickled path would have used,
+so the merged result is identical — the equality property the transport
+tests pin down.
+
+The block lives exactly as long as one runner call: the parent creates
+it, the workers attach by name, and the parent unlinks it in a
+``finally`` so no segment leaks even when a worker raises.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Tuple
+
+import numpy as np
+
+#: Recognised chunk-result transports.
+TRANSPORTS: Tuple[str, ...] = ("pickle", "shm")
+
+
+def check_transport(transport: str) -> None:
+    """Validate a ``transport`` knob."""
+    if transport not in TRANSPORTS:
+        raise ValueError(
+            f"unknown transport {transport!r}; expected one of {TRANSPORTS}"
+        )
+
+
+class SharedResultBuffer:
+    """A parent-owned ``(rows, width)`` matrix in shared memory.
+
+    The parent creates the buffer, ships ``spec()`` to the workers with
+    their slot index, and reads :meth:`array` after the pool drains;
+    :meth:`destroy` closes and unlinks the segment.
+    """
+
+    def __init__(self, rows: int, width: int, dtype: str = "float64") -> None:
+        if rows < 1 or width < 1:
+            raise ValueError("rows and width must be positive")
+        self.rows = rows
+        self.width = width
+        self.dtype = np.dtype(dtype)
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=rows * width * self.dtype.itemsize
+        )
+        self.array()[:] = 0
+
+    def spec(self) -> Tuple[str, int, int, str]:
+        """Picklable handle a worker needs to attach: (name, rows, width, dtype)."""
+        return (self._shm.name, self.rows, self.width, self.dtype.name)
+
+    def array(self) -> np.ndarray:
+        """The live view over the shared block (valid until destroy)."""
+        return np.ndarray(
+            (self.rows, self.width), dtype=self.dtype, buffer=self._shm.buf
+        )
+
+    def destroy(self) -> None:
+        """Release the segment (close this handle and unlink the block)."""
+        self._shm.close()
+        self._shm.unlink()
+
+
+def write_row(
+    spec: Tuple[str, int, int, str], index: int, values: np.ndarray
+) -> None:
+    """Worker-side: write one result row into the parent's buffer."""
+    name, rows, width, dtype = spec
+    values = np.asarray(values)
+    if values.shape != (width,):
+        raise ValueError(
+            f"row has {values.shape} values; buffer rows are ({width},)"
+        )
+    segment = shared_memory.SharedMemory(name=name)
+    try:
+        array = np.ndarray(
+            (rows, width), dtype=np.dtype(dtype), buffer=segment.buf
+        )
+        array[index] = values
+    finally:
+        segment.close()

@@ -24,6 +24,14 @@ rare-event methods (``method="is" | "splitting" | "auto"``) built on
 :mod:`repro.simulation.rare_event`: failure-biased importance sampling
 with exact path-measure reweighting on the batch backend, and
 fixed-effort multilevel splitting on the event backend.
+
+Orthogonally to those, the batch kernel offers variance-reduced
+estimators (``variance_reduction="qmc" | "cv"``,
+:mod:`repro.simulation.variance_reduction`): scrambled-Sobol
+quasi-Monte-Carlo clock pools and a conditional-Monte-Carlo control
+variate for threshold-2 schemes.  The inner select step of the batch
+sweeps compiles through numba when it is installed
+(:mod:`repro.simulation._kernels`) with a bit-identical NumPy fallback.
 """
 
 from repro.simulation.engine import SimulationEngine, EventHandle
@@ -94,6 +102,17 @@ from repro.simulation.lifetime import (
     loss_probability_curve,
     mission_summary,
 )
+from repro.simulation.estimators import (
+    VARIANCE_REDUCTIONS,
+    run_loss_probability,
+    run_mttdl,
+)
+from repro.simulation.variance_reduction import (
+    cv_loss_probability,
+    qmc_loss_probability,
+    variance_reduced_loss_probability,
+)
+from repro.simulation._kernels import NUMBA_AVAILABLE
 
 __all__ = [
     "SimulationEngine",
@@ -146,4 +165,11 @@ __all__ = [
     "splitting_loss_probability",
     "loss_probability_curve",
     "mission_summary",
+    "VARIANCE_REDUCTIONS",
+    "run_loss_probability",
+    "run_mttdl",
+    "cv_loss_probability",
+    "qmc_loss_probability",
+    "variance_reduced_loss_probability",
+    "NUMBA_AVAILABLE",
 ]

@@ -1,0 +1,110 @@
+"""Optional compiled select kernel for the batch backends.
+
+The hot step of both batch kernels — racing every live trial's pending
+fault arrivals against its known recoveries and picking the next event —
+is a pure selection over the state arrays: it draws no random numbers
+and does no arithmetic beyond comparisons.  That makes it safe to fuse
+into a single compiled loop without touching the RNG stream, so the
+compiled path is bit-for-bit identical to the vectorized NumPy path
+(``tests/simulation/test_kernels.py`` pins this down across replication
+and erasure operating points).
+
+numba is strictly optional: when it is importable the fused kernel is
+``@njit``-compiled and selected automatically; otherwise the batch
+kernels keep the vectorized NumPy select (the interpreted fused loop in
+:func:`select_events_py` would be slower than NumPy, so it is only used
+as the compile target and as the bit-identity reference in tests).  Set
+``REPRO_DISABLE_NUMBA=1`` to force the NumPy path even when numba is
+installed — CI runs the tier-1 suite once in that mode.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Tuple
+
+import numpy as np
+
+_DISABLE_ENV = "REPRO_DISABLE_NUMBA"
+
+
+def _load_numba():
+    if os.environ.get(_DISABLE_ENV, ""):
+        return None
+    try:
+        import numba
+    except Exception:
+        return None
+    return numba
+
+
+_numba = _load_numba()
+
+#: Whether the compiled fast path is available in this interpreter.
+NUMBA_AVAILABLE = _numba is not None
+
+# Test hook: force the fused kernel on (True), off (False), or back to
+# auto-selection (None).  Forcing it on without numba runs the
+# interpreted ``select_events_py`` loop, which is what lets the
+# bit-identity property tests exercise the fused control flow on hosts
+# where numba is absent.
+_forced: Optional[bool] = None
+
+
+def force_fused(flag: Optional[bool]) -> None:
+    """Override fused-kernel selection (``None`` restores auto)."""
+    global _forced
+    _forced = flag
+
+
+def use_fused() -> bool:
+    """Whether the batch kernels should take the fused select path."""
+    if _forced is not None:
+        return bool(_forced)
+    return NUMBA_AVAILABLE
+
+
+def select_events_py(
+    state: np.ndarray,
+    next_visible: np.ndarray,
+    next_latent: np.ndarray,
+    recovery: np.ndarray,
+    rows: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Next event per live trial: (replica column, event time).
+
+    For each trial index in ``rows``, healthy replicas (state 0) race
+    ``min(next_visible, next_latent)`` while faulty replicas wait for
+    their known ``recovery``; the returned column is the first-occurrence
+    argmin across replicas, matching ``np.argmin`` tie-breaking.  Live
+    trials always have at least one healthy replica (a trial at its loss
+    threshold has already been retired), so the event time is finite.
+    """
+    count = rows.shape[0]
+    replicas = state.shape[1]
+    which = np.empty(count, dtype=np.int64)
+    event_time = np.empty(count, dtype=np.float64)
+    for i in range(count):
+        row = rows[i]
+        best = np.inf
+        best_col = 0
+        for col in range(replicas):
+            if state[row, col] == 0:
+                value = next_visible[row, col]
+                other = next_latent[row, col]
+                if other < value:
+                    value = other
+            else:
+                value = recovery[row, col]
+            if value < best:
+                best = value
+                best_col = col
+        which[i] = best_col
+        event_time[i] = best
+    return which, event_time
+
+
+if NUMBA_AVAILABLE:
+    select_events = _numba.njit(cache=True, nogil=True)(select_events_py)
+else:
+    select_events = select_events_py

@@ -55,6 +55,10 @@ METHODS: Tuple[str, ...] = ("standard", "is", "splitting", "auto")
 #: Recognised simulation backends.
 BACKENDS: Tuple[str, ...] = ("event", "batch")
 
+#: Recognised variance-reduction modes (see
+#: :mod:`repro.simulation.variance_reduction`).
+VARIANCE_REDUCTIONS: Tuple[str, ...] = ("none", "qmc", "cv")
+
 _UNSET = object()
 
 
@@ -196,6 +200,49 @@ def check_method(
         )
 
 
+def check_variance_reduction(
+    variance_reduction: str,
+    backend: str,
+    method: str,
+    factory: Optional[SystemFactory],
+    bias: Optional[float],
+) -> None:
+    """Validate a ``variance_reduction`` / estimator combination.
+
+    The variance-reduced estimators replace the sampling scheme itself,
+    so they only compose with the plain batch estimator: rare-event
+    methods, custom factories, the event backend and explicit failure
+    biasing are all rejected with a pointer to the working alternative.
+    """
+    if variance_reduction not in VARIANCE_REDUCTIONS:
+        raise ValueError(
+            f"unknown variance_reduction {variance_reduction!r}; expected "
+            f"one of {VARIANCE_REDUCTIONS}"
+        )
+    if variance_reduction == "none":
+        return
+    if factory is not None:
+        raise ValueError(
+            "variance reduction runs on the batch machinery and needs a "
+            "FaultModel; use method='splitting' for custom factories"
+        )
+    if backend != "batch":
+        raise ValueError(
+            "variance reduction requires backend='batch'"
+        )
+    if method != "standard":
+        raise ValueError(
+            "variance reduction replaces the sampling scheme; combine it "
+            "with method='standard' only (importance sampling and "
+            "splitting are alternatives, not composable layers)"
+        )
+    if bias is not None:
+        raise ValueError(
+            "bias is an importance-sampling knob; it cannot be combined "
+            "with variance_reduction"
+        )
+
+
 def adaptive_cap(trials: int, max_trials: Optional[int]) -> int:
     """Hard trial budget of an adaptive (``target_relative_error``) run."""
     if max_trials is None:
@@ -304,18 +351,24 @@ def run_mttdl(
     method: str = "standard",
     bias: Optional[float] = None,
     scheme: Optional[RedundancyScheme] = None,
+    variance_reduction: str = "none",
 ) -> MonteCarloEstimate:
     """The MTTDL estimation loop (see :func:`~repro.simulation.monte_carlo.estimate_mttdl`).
 
     Runs independent trials until data loss or the censoring horizon,
     extends adaptively toward a ``target_relative_error``, and — under
     ``method="auto"`` — discards a pilot that censored past the warning
-    threshold in favour of failure-biased importance sampling.
+    threshold in favour of failure-biased importance sampling.  With
+    ``variance_reduction`` set, the horizon loss probability is
+    estimated by the requested variance-reduced estimator
+    (:mod:`repro.simulation.variance_reduction`) and inverted through
+    the exponential loss law instead.
     """
     if trials <= 0:
         raise ValueError("trials must be positive")
     check_backend(backend, factory)
     check_method(method, factory)
+    check_variance_reduction(variance_reduction, backend, method, factory, bias)
     if method == "splitting":
         raise ValueError(
             "splitting estimates mission loss probabilities; use "
@@ -337,6 +390,24 @@ def run_mttdl(
             max_time = 1000.0 * model.mean_time_to_visible
         else:
             max_time = 1e9
+
+    if variance_reduction != "none":
+        from repro.simulation import rare_event
+        from repro.simulation import variance_reduction as vr_module
+
+        estimate = vr_module.variance_reduced_loss_probability(
+            variance_reduction,
+            model,
+            max_time,
+            trials,
+            seed,
+            replicas=replicas,
+            audits_per_year=audits_per_year,
+            target_relative_error=target_relative_error,
+            max_trials=max_trials,
+            scheme=scheme,
+        )
+        return rare_event.mttdl_from_loss_probability(estimate, max_time)
 
     cap = adaptive_cap(trials, max_trials)
     total_time = 0.0
@@ -498,13 +569,17 @@ def run_loss_probability(
     method: str = "standard",
     bias: Optional[float] = None,
     scheme: Optional[RedundancyScheme] = None,
+    variance_reduction: str = "none",
 ) -> MonteCarloEstimate:
     """The loss-probability estimation loop (see
     :func:`~repro.simulation.monte_carlo.estimate_loss_probability`).
 
     A ``method="auto"`` pilot with fewer than :data:`AUTO_MIN_LOSSES`
     observed losses is discarded in favour of importance sampling (plain
-    models) or multilevel splitting (custom factories).
+    models) or multilevel splitting (custom factories).  With
+    ``variance_reduction`` set, the plain batch estimator is replaced by
+    the requested variance-reduced one
+    (:mod:`repro.simulation.variance_reduction`).
     """
     if trials <= 0:
         raise ValueError("trials must be positive")
@@ -512,6 +587,7 @@ def run_loss_probability(
         raise ValueError("mission_time must be positive")
     check_backend(backend, factory)
     check_method(method, factory)
+    check_variance_reduction(variance_reduction, backend, method, factory, bias)
     if method == "is" and model is None:
         raise ValueError("method='is' needs a FaultModel")
     custom_factory = factory
@@ -520,6 +596,22 @@ def run_loss_probability(
             raise ValueError("either model or factory must be provided")
         if backend == "event":
             factory = default_factory(model, replicas, audits_per_year, scheme)
+
+    if variance_reduction != "none":
+        from repro.simulation import variance_reduction as vr_module
+
+        return vr_module.variance_reduced_loss_probability(
+            variance_reduction,
+            model,
+            mission_time,
+            trials,
+            seed,
+            replicas=replicas,
+            audits_per_year=audits_per_year,
+            target_relative_error=target_relative_error,
+            max_trials=max_trials,
+            scheme=scheme,
+        )
 
     cap = adaptive_cap(trials, max_trials)
     if method == "splitting":

@@ -60,6 +60,15 @@ FLEET_EVENT_SPAWN_TAG = 2**32 + 4
 #: root seed only, so every chunk of one fleet sees the same events.
 FLEET_SCHEDULE_SPAWN_TAG = 2**32 + 5
 
+#: Spawn-key tag reserved for the control-variate (conditional
+#: Monte-Carlo) estimator's skeleton chunks.
+CONTROL_VARIATE_SPAWN_TAG = 2**32 + 6
+
+#: Spawn-key tag reserved for the quasi-Monte-Carlo estimator: one
+#: family per scrambled-Sobol replicate, covering both the scramble
+#: seed and the replicate's follow-up pseudo-random draws.
+QMC_SPAWN_TAG = 2**32 + 7
+
 
 class RandomStreams:
     """A family of independent, named :class:`numpy.random.Generator` s.
@@ -242,6 +251,41 @@ def fleet_schedule_generator(seed: int) -> np.random.Generator:
         raise ValueError("seed must be non-negative")
     sequence = np.random.SeedSequence(
         entropy=seed, spawn_key=(FLEET_SCHEDULE_SPAWN_TAG,)
+    )
+    return np.random.default_rng(sequence)
+
+
+def control_variate_generator(seed: int, chunk: int = 0) -> np.random.Generator:
+    """Generator for one chunk of the control-variate skeleton kernel.
+
+    The conditional Monte-Carlo estimator simulates a reduced
+    (second-faults-suppressed) skeleton process; its draws live under a
+    reserved tag so they can never overlap the standard batch chunks of
+    the same seed.
+    """
+    if seed < 0:
+        raise ValueError("seed must be non-negative")
+    if chunk < 0:
+        raise ValueError("chunk must be non-negative")
+    sequence = np.random.SeedSequence(
+        entropy=seed, spawn_key=(CONTROL_VARIATE_SPAWN_TAG, chunk)
+    )
+    return np.random.default_rng(sequence)
+
+
+def qmc_generator(seed: int, replicate: int = 0) -> np.random.Generator:
+    """Generator for one scrambled-Sobol replicate of the QMC estimator.
+
+    Seeds both the Sobol scramble and the replicate's follow-up
+    pseudo-random draws (post-time-zero resamples), keyed by the
+    replicate index so independent scrambles stay independent.
+    """
+    if seed < 0:
+        raise ValueError("seed must be non-negative")
+    if replicate < 0:
+        raise ValueError("replicate must be non-negative")
+    sequence = np.random.SeedSequence(
+        entropy=seed, spawn_key=(QMC_SPAWN_TAG, replicate)
     )
     return np.random.default_rng(sequence)
 

@@ -1,0 +1,376 @@
+r"""Variance-reduced loss-probability estimators for the batch backend.
+
+Two estimators sit behind the ``variance_reduction`` axis of
+:func:`~repro.simulation.estimators.run_mttdl` /
+:func:`~repro.simulation.estimators.run_loss_probability` (and of
+:class:`~repro.study.scenario.EstimatorPolicy`).  Both target the same
+quantity as ``method="standard"`` — the mission loss probability under
+the batch kernel's physics — but reach a given confidence interval in
+several-fold fewer trials.
+
+Control variates / conditional Monte-Carlo (``"cv"``)
+-----------------------------------------------------
+
+For threshold-2 schemes (mirrored replication, or any ``(n, n-1)``
+code), a loss is a fault landing on an already-degraded trial.  Instead
+of *sampling* that second fault — the rare event — the estimator
+simulates only the *skeleton* process of first faults and repairs
+(second faults suppressed) and scores each trial with the **exact
+analytic** loss probability conditioned on its realized trajectory.
+Because repairs and latent detection are deterministic and the fault
+clocks are exponential, second faults form an inhomogeneous Poisson
+process along the skeleton with intensity
+``(n - 1) · λ_total / α`` during degraded sojourns, so
+
+.. math::
+
+    C_i \;=\; 1 - \exp\bigl(-\Lambda_i\bigr), \qquad
+    \Lambda_i = \frac{(n-1)\,\lambda_T}{\alpha}\,W_i,
+
+with ``W_i`` the trial's total degraded exposure clipped at the
+mission horizon.  ``E[C_i]`` equals the loss probability *exactly*
+(tower property over skeleton trajectories), so the per-trial score is
+the closed-form value :func:`repro.core.redundancy.scheme_loss_rate`
+linearises, evaluated on the simulated windows instead of their
+expectation: the control ``X_i = Y_i - C_i`` has exactly zero mean and
+unit regression coefficient, and the surviving estimator is the mean of
+``C_i``.  The Bernoulli noise of "did the second fault land" — the
+dominant variance at realistic operating points — is integrated out
+analytically; what remains is only the (small) variability of the
+windows themselves, which is what buys the multi-fold trial reduction
+benchmarked in e19.
+
+Quasi-Monte Carlo (``"qmc"``)
+-----------------------------
+
+Replaces the batch kernel's time-zero exponential clock pool — the
+``(trials, 2 · replicas)`` draws that decide *when* each replica first
+faults — with scrambled-Sobol points mapped through the exponential
+inverse CDF, via ``simulate_batch(initial_exponentials=...)``.  All
+subsequent draws stay pseudo-random.  Because points within one Sobol
+sequence are *not* independent, the error bar comes from ``R``
+independently scrambled replicates: the estimate is the mean of the
+replicate means and the standard error their spread over ``sqrt(R)``
+(an honest CI for any integrand, with the variance reduction showing up
+as a smaller spread).  Requires :mod:`scipy.stats.qmc`; the estimator
+raises a clear error when SciPy is absent.
+
+When to use what
+----------------
+
+``"cv"`` is the strongest tool where it applies (threshold-2 schemes,
+no failure biasing) — its per-trial scores are already integrated over
+the rare event, so it reaches a 10% relative-error target orders of
+magnitude faster than standard sampling.  ``"qmc"`` applies to any
+scheme and stratifies the *first*-fault times; its gains are modest for
+deep-threshold schemes whose losses hinge on later draws.  Failure-
+biased importance sampling (``method="is"``) remains the generalist for
+arbitrary thresholds at extreme reliability levels.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.parameters import FaultModel
+from repro.core.redundancy import RedundancyScheme, resolve_scheme
+from repro.simulation.batch import simulate_batch
+from repro.simulation.estimators import MonteCarloEstimate, adaptive_cap
+from repro.simulation.rng import control_variate_generator, qmc_generator
+from repro.simulation.scrubbing import audit_interval_for
+
+
+def _load_qmc():
+    try:
+        from scipy.stats import qmc
+    except Exception:
+        return None
+    return qmc
+
+
+_qmc = _load_qmc()
+
+#: Whether scrambled-Sobol sampling is available (SciPy importable).
+SCIPY_QMC_AVAILABLE = _qmc is not None
+
+#: Independently scrambled Sobol replicates per QMC round; the standard
+#: error comes from the spread of the replicate means.
+QMC_REPLICATES = 8
+
+#: Floor on the per-replicate Sobol sample (kept a power of two so the
+#: digital net stays balanced).
+QMC_MIN_SAMPLE = 64
+
+
+def require_threshold_two(
+    scheme: Optional[RedundancyScheme], replicas: int
+) -> RedundancyScheme:
+    """Validate that the operating point is a threshold-2 scheme."""
+    resolved = resolve_scheme(scheme, replicas)
+    if resolved.loss_threshold != 2:
+        raise ValueError(
+            "variance_reduction='cv' applies to threshold-2 schemes only "
+            "(mirrored replication or (n, n-1) codes); got loss threshold "
+            f"{resolved.loss_threshold} — use method='is' instead"
+        )
+    return resolved
+
+
+def _skeleton_log_survival(
+    model: FaultModel,
+    trials: int,
+    horizon: float,
+    rng: np.random.Generator,
+    scheme: RedundancyScheme,
+    audits_per_year: Optional[float],
+) -> np.ndarray:
+    """Per-trial ``-Λ_i``: log-survival along the suppressed skeleton.
+
+    Simulates first faults and their deterministic recoveries only; at
+    most one replica is ever faulty (any further fault would be the loss
+    the estimator integrates out), so the skeleton is a simple
+    alternating renewal process advanced with one batched draw per
+    window.
+    """
+    replicas = scheme.n
+    interval = audit_interval_for(model, audits_per_year)
+    total_rate = model.total_fault_rate
+    p_visible = model.visible_rate / total_rate
+    # Fully-healthy gap to the next first fault: min of ``n`` base-rate
+    # clocks (correlation only accelerates *degraded* trials, and
+    # degraded exposure is integrated, not sampled).
+    mean_gap = 1.0 / (replicas * total_rate)
+    degraded_intensity = (replicas - 1) * total_rate / model.correlation_factor
+
+    clock = np.zeros(trials)
+    exposure = np.zeros(trials)
+    active = np.arange(trials)
+    while active.size:
+        gaps = rng.exponential(mean_gap, active.size)
+        fault_at = clock[active] + gaps
+        running = fault_at < horizon
+        active = active[running]
+        if active.size == 0:
+            break
+        fault_at = fault_at[running]
+        visible = rng.random(active.size) < p_visible
+        window_end = np.empty(active.size)
+        window_end[visible] = fault_at[visible] + model.mean_repair_visible
+        latent = ~visible
+        if interval is None:
+            window_end[latent] = np.inf
+        else:
+            detection = (
+                np.floor(fault_at[latent] / interval) + 1.0
+            ) * interval
+            window_end[latent] = detection + model.mean_repair_latent
+        window_end = np.minimum(window_end, horizon)
+        exposure[active] += degraded_intensity * (window_end - fault_at)
+        clock[active] = window_end
+        active = active[window_end < horizon]
+    return -exposure
+
+
+def cv_loss_probability(
+    model: FaultModel,
+    mission_time: float,
+    trials: int,
+    seed: int,
+    replicas: int = 2,
+    audits_per_year: Optional[float] = None,
+    target_relative_error: Optional[float] = None,
+    max_trials: Optional[int] = None,
+    scheme: Optional[RedundancyScheme] = None,
+) -> MonteCarloEstimate:
+    """Conditional Monte-Carlo loss-probability estimate (``"cv"``)."""
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if mission_time <= 0:
+        raise ValueError("mission_time must be positive")
+    resolved = require_threshold_two(scheme, replicas)
+
+    cap = adaptive_cap(trials, max_trials)
+    done = 0
+    windowed = 0
+    total = 0.0
+    total_sq = 0.0
+    chunk = 0
+    while done < cap:
+        if done:
+            mean_so_far = total / done
+            if mean_so_far > 0.0 and done > 1:
+                variance = max(
+                    total_sq / done - mean_so_far * mean_so_far, 0.0
+                ) * (done / (done - 1.0))
+                relative = math.sqrt(variance / done) / mean_so_far
+                if (
+                    target_relative_error is None
+                    or relative <= target_relative_error
+                ):
+                    break
+            elif target_relative_error is None:
+                break
+        chunk_trials = min(trials, cap - done) if done else trials
+        rng = control_variate_generator(seed, chunk)
+        log_survival = _skeleton_log_survival(
+            model, chunk_trials, mission_time, rng, resolved, audits_per_year
+        )
+        scores = -np.expm1(log_survival)
+        windowed += int(np.count_nonzero(scores > 0.0))
+        total += float(scores.sum())
+        total_sq += float(np.square(scores).sum())
+        done += chunk_trials
+        chunk += 1
+
+    mean = total / done
+    if done > 1:
+        variance = max(total_sq / done - mean * mean, 0.0) * (
+            done / (done - 1.0)
+        )
+        std_error = math.sqrt(variance / done)
+    else:
+        std_error = math.inf
+    return MonteCarloEstimate(
+        mean=mean,
+        std_error=std_error,
+        trials=done,
+        # "Censored" here means the trial never even opened a window of
+        # vulnerability — its conditional score is exactly zero, so the
+        # ``losses`` property counts the informative trials.
+        censored=done - windowed,
+        clamp_hi=1.0,
+        method="cv",
+    )
+
+
+def _replicate_sample_exponent(trials: int) -> int:
+    """log2 of the per-replicate Sobol sample covering ``trials``."""
+    per_replicate = max(
+        QMC_MIN_SAMPLE, math.ceil(trials / QMC_REPLICATES)
+    )
+    return max(1, math.ceil(math.log2(per_replicate)))
+
+
+def qmc_loss_probability(
+    model: FaultModel,
+    mission_time: float,
+    trials: int,
+    seed: int,
+    replicas: int = 2,
+    audits_per_year: Optional[float] = None,
+    target_relative_error: Optional[float] = None,
+    max_trials: Optional[int] = None,
+    scheme: Optional[RedundancyScheme] = None,
+) -> MonteCarloEstimate:
+    """Replicated scrambled-Sobol loss-probability estimate (``"qmc"``)."""
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if mission_time <= 0:
+        raise ValueError("mission_time must be positive")
+    if _qmc is None:
+        raise ValueError(
+            "variance_reduction='qmc' needs scipy.stats.qmc, which is not "
+            "importable in this environment; install scipy or use "
+            "variance_reduction='cv' / method='is'"
+        )
+    fragments = scheme.n if scheme is not None else replicas
+    dimension = 2 * fragments
+    exponent = _replicate_sample_exponent(trials)
+    per_replicate = 2**exponent
+    cap = adaptive_cap(trials, max_trials)
+
+    means = []
+    losses = 0
+    done = 0
+    replicate = 0
+    while True:
+        if replicate >= QMC_REPLICATES:
+            if done >= cap:
+                break
+            spread = float(np.std(means, ddof=1))
+            mean_so_far = float(np.mean(means))
+            if mean_so_far > 0.0 and (
+                target_relative_error is None
+                or spread / math.sqrt(len(means)) / mean_so_far
+                <= target_relative_error
+            ):
+                break
+            if mean_so_far == 0.0 and target_relative_error is None:
+                break
+        rng = qmc_generator(seed, replicate)
+        sobol = _qmc.Sobol(d=dimension, scramble=True, seed=rng)
+        uniforms = sobol.random_base2(exponent)
+        initial = -np.log1p(-uniforms)
+        result = simulate_batch(
+            model,
+            trials=per_replicate,
+            horizon=mission_time,
+            replicas=replicas,
+            audits_per_year=audits_per_year,
+            scheme=scheme,
+            rng=rng,
+            initial_exponentials=initial,
+        )
+        means.append(result.losses / per_replicate)
+        losses += result.losses
+        done += per_replicate
+        replicate += 1
+
+    mean = float(np.mean(means))
+    # Replicate means are i.i.d. across scrambles (points *within* one
+    # sequence are not), so the spread over sqrt(R) is the honest SE.
+    std_error = float(np.std(means, ddof=1)) / math.sqrt(len(means))
+    if losses == 0:
+        # No replicate saw a loss: the spread is degenerately zero, so
+        # report the rule-of-three pseudo-error like every other
+        # zero-loss estimator in the codebase.
+        from repro.simulation.rare_event import RULE_OF_THREE
+
+        std_error = (RULE_OF_THREE / done) / 1.96
+    return MonteCarloEstimate(
+        mean=mean,
+        std_error=std_error,
+        trials=done,
+        censored=done - losses,
+        clamp_hi=1.0,
+        method="qmc",
+    )
+
+
+def variance_reduced_loss_probability(
+    variance_reduction: str,
+    model: FaultModel,
+    mission_time: float,
+    trials: int,
+    seed: int,
+    replicas: int = 2,
+    audits_per_year: Optional[float] = None,
+    target_relative_error: Optional[float] = None,
+    max_trials: Optional[int] = None,
+    scheme: Optional[RedundancyScheme] = None,
+) -> MonteCarloEstimate:
+    """Dispatch to the requested variance-reduced estimator."""
+    runners = {
+        "cv": cv_loss_probability,
+        "qmc": qmc_loss_probability,
+    }
+    if variance_reduction not in runners:
+        raise ValueError(
+            f"unknown variance_reduction {variance_reduction!r}; expected "
+            f"one of {tuple(runners)}"
+        )
+    runner = runners[variance_reduction]
+    return runner(
+        model,
+        mission_time,
+        trials,
+        seed,
+        replicas=replicas,
+        audits_per_year=audits_per_year,
+        target_relative_error=target_relative_error,
+        max_trials=max_trials,
+        scheme=scheme,
+    )

@@ -65,6 +65,8 @@ def run(
     scenario: Scenario,
     jobs: int = 1,
     cache_dir: Optional[Union[str, Path]] = None,
+    transport: str = "pickle",
+    profile: bool = False,
 ) -> StudyResult:
     """Answer a scenario and return its provenance-carrying result.
 
@@ -76,6 +78,12 @@ def run(
             estimators run in-process regardless.
         cache_dir: directory for the content-hash result caches of the
             parallel engines; ``None`` disables caching.
+        transport: chunk-result transport for the parallel engines
+            (``"pickle"`` or ``"shm"``; see :mod:`repro.parallel`).
+        profile: record a setup/kernel/merge wall-time breakdown in
+            ``result.details["profile"]`` (point-estimate and
+            fleet-survival questions); off by default so serialised
+            results are byte-stable.
 
     Raises:
         ValueError: for invalid runtime knobs or infeasible frontier
@@ -87,13 +95,15 @@ def run(
     with _warnings.catch_warnings(record=True) as caught:
         _warnings.simplefilter("always")
         if scenario.question in ("mttdl", "loss_probability"):
-            result = _run_point_estimate(scenario)
+            result = _run_point_estimate(scenario, profile=profile)
         elif scenario.question == "sweep":
             result = _run_sweep(scenario)
         elif scenario.question == "frontier":
-            result = _run_frontier(scenario, jobs, cache_dir)
+            result = _run_frontier(scenario, jobs, cache_dir, transport)
         else:
-            result = _run_fleet(scenario, jobs, cache_dir)
+            result = _run_fleet(
+                scenario, jobs, cache_dir, transport, profile=profile
+            )
     notes: List[str] = []
     for entry in caught:
         if issubclass(entry.category, HighCensoringWarning):
@@ -118,6 +128,28 @@ def run(
 # ---------------------------------------------------------------------------
 
 
+class _PhaseTimer:
+    """Setup/kernel/merge wall-time breakdown for ``profile=True`` runs.
+
+    ``checkpoint(name)`` charges the time since the previous checkpoint
+    to ``name_seconds``; a disabled timer costs one branch per call, so
+    the default path does no timing work.
+    """
+
+    def __init__(self, enabled: bool) -> None:
+        self.enabled = enabled
+        self.phases: Dict[str, float] = {}
+        self._last = time.perf_counter() if enabled else 0.0
+
+    def checkpoint(self, name: str) -> None:
+        if not self.enabled:
+            return
+        now = time.perf_counter()
+        key = f"{name}_seconds"
+        self.phases[key] = self.phases.get(key, 0.0) + (now - self._last)
+        self._last = now
+
+
 def _analytic_mttdl_hours(scenario: Scenario) -> tuple:
     """(mttdl_hours, convention) under the closed forms."""
     spec = scenario.system
@@ -136,7 +168,10 @@ def _analytic_mttdl_hours(scenario: Scenario) -> tuple:
     )
 
 
-def _run_point_estimate(scenario: Scenario) -> StudyResult:
+def _run_point_estimate(
+    scenario: Scenario, profile: bool = False
+) -> StudyResult:
+    timer = _PhaseTimer(profile)
     spec = scenario.system
     policy = scenario.policy
     question = scenario.question
@@ -162,6 +197,7 @@ def _run_point_estimate(scenario: Scenario) -> StudyResult:
         return _deterministic_result(scenario, mttdl_hours, details)
 
     backend, method = engine_backend_method(policy.engine)
+    timer.checkpoint("setup")
     if question == "mttdl":
         estimate = run_mttdl(
             model=spec.model,
@@ -176,6 +212,7 @@ def _run_point_estimate(scenario: Scenario) -> StudyResult:
             max_trials=policy.max_trials,
             method=method,
             bias=policy.bias,
+            variance_reduction=policy.variance_reduction,
         )
         units = "hours"
     else:
@@ -192,8 +229,10 @@ def _run_point_estimate(scenario: Scenario) -> StudyResult:
             max_trials=policy.max_trials,
             method=method,
             bias=policy.bias,
+            variance_reduction=policy.variance_reduction,
         )
         units = "probability"
+    timer.checkpoint("kernel")
     details: Dict[str, object] = {}
     if (
         policy.engine == "auto"
@@ -202,6 +241,9 @@ def _run_point_estimate(scenario: Scenario) -> StudyResult:
         and spec.effective_scheme().is_replication
     ):
         details["cross_check"] = _cross_check(scenario, estimate)
+    if profile:
+        timer.checkpoint("merge")
+        details["profile"] = dict(timer.phases)
     return StudyResult.from_estimate(
         question, policy.engine, estimate, units, details
     )
@@ -490,7 +532,10 @@ def _sweep_result(
 
 
 def _run_frontier(
-    scenario: Scenario, jobs: int, cache_dir: Optional[Union[str, Path]]
+    scenario: Scenario,
+    jobs: int,
+    cache_dir: Optional[Union[str, Path]],
+    transport: str = "pickle",
 ) -> StudyResult:
     policy = scenario.policy
     if policy.engine == "analytic":
@@ -515,6 +560,7 @@ def _run_frontier(
         cache_dir=cache_dir,
         slack=scenario.slack,
         refine_survivors=refine,
+        transport=transport,
     )
     recommended = None
     if scenario.budget is not None or scenario.target_loss is not None:
@@ -565,18 +611,32 @@ def _run_frontier(
 
 
 def _run_fleet(
-    scenario: Scenario, jobs: int, cache_dir: Optional[Union[str, Path]]
+    scenario: Scenario,
+    jobs: int,
+    cache_dir: Optional[Union[str, Path]],
+    transport: str = "pickle",
+    profile: bool = False,
 ) -> StudyResult:
+    timer = _PhaseTimer(profile)
+    timeline = scenario.timeline
+    members = scenario.members
+    timer.checkpoint("setup")
     outcome = simulate_fleet(
-        scenario.timeline,
-        members=scenario.members,
+        timeline,
+        members=members,
         seed=scenario.policy.seed,
         jobs=jobs,
         chunk_size=scenario.chunk_size,
         cache_dir=cache_dir,
+        transport=transport,
     )
+    timer.checkpoint("kernel")
     estimate = outcome.loss_estimate()
     low, high = estimate.confidence_interval()
+    details = outcome.as_dict()
+    if profile:
+        timer.checkpoint("merge")
+        details["profile"] = dict(timer.phases)
     return StudyResult(
         question="fleet_survival",
         engine=scenario.policy.engine,
@@ -589,5 +649,5 @@ def _run_fleet(
         trials=estimate.trials,
         losses=estimate.losses,
         censored=estimate.censored,
-        details=outcome.as_dict(),
+        details=details,
     )

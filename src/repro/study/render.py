@@ -69,6 +69,9 @@ def render_text(scenario: Scenario, result: StudyResult) -> str:
         text = _render_frontier(scenario, result)
     else:
         text = _render_fleet(scenario, result)
+    profile = result.details.get("profile")
+    if profile:
+        text += "\n\n" + format_dict(profile, title="profile (wall time)")
     for note in result.warnings:
         text += f"\nwarning: {note}"
     return text

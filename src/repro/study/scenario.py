@@ -268,6 +268,13 @@ class EstimatorPolicy:
         cross_check: under ``engine="auto"``, attach the closed-form and
             Markov-chain answers to the result's details whenever they
             are cheap to compute (mirrored pairs).
+        variance_reduction: one of
+            :data:`repro.simulation.estimators.VARIANCE_REDUCTIONS` —
+            ``"none"`` (default), ``"qmc"`` (scrambled-Sobol clock
+            pools) or ``"cv"`` (conditional-Monte-Carlo control
+            variate).  Non-``"none"`` values require the plain batch
+            engine (``engine="batch"``); they replace the sampling
+            scheme rather than composing with ``is``/``splitting``.
     """
 
     engine: str = "auto"
@@ -277,6 +284,7 @@ class EstimatorPolicy:
     seed: int = 0
     bias: Optional[float] = None
     cross_check: bool = True
+    variance_reduction: str = "none"
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -294,9 +302,24 @@ class EstimatorPolicy:
             and self.target_relative_error <= 0
         ):
             raise ValueError("target_relative_error must be positive")
+        # Membership is validated here; the full compatibility rules
+        # (batch backend, standard method, no bias) live with the shared
+        # estimator loops, which also own the canonical error messages.
+        from repro.simulation.estimators import VARIANCE_REDUCTIONS
+
+        if self.variance_reduction not in VARIANCE_REDUCTIONS:
+            raise ValueError(
+                f"unknown variance_reduction {self.variance_reduction!r}; "
+                f"expected one of {VARIANCE_REDUCTIONS}"
+            )
+        if self.variance_reduction != "none" and self.engine != "batch":
+            raise ValueError(
+                "variance_reduction requires the plain batch engine "
+                "(engine='batch')"
+            )
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "engine": self.engine,
             "trials": self.trials,
             "max_trials": self.max_trials,
@@ -305,6 +328,10 @@ class EstimatorPolicy:
             "bias": self.bias,
             "cross_check": self.cross_check,
         }
+        # Conditional so pre-existing policies hash exactly as before.
+        if self.variance_reduction != "none":
+            payload["variance_reduction"] = self.variance_reduction
+        return payload
 
     @staticmethod
     def from_dict(payload: Dict[str, object]) -> "EstimatorPolicy":
@@ -324,6 +351,7 @@ class EstimatorPolicy:
             seed=int(payload.get("seed", 0)),
             bias=_opt_float("bias"),
             cross_check=bool(payload.get("cross_check", True)),
+            variance_reduction=str(payload.get("variance_reduction", "none")),
         )
 
 

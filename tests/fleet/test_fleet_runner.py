@@ -166,3 +166,45 @@ class TestFleetResult:
             coarse.summary()["shock_events"]
             == fine.summary()["shock_events"]
         )
+
+
+class TestTransport:
+    def test_shm_equals_pickle_equals_serial(self):
+        serial = simulate_fleet(
+            timeline(), members=800, seed=5, jobs=1, chunk_size=200
+        )
+        pickled = simulate_fleet(
+            timeline(),
+            members=800,
+            seed=5,
+            jobs=2,
+            chunk_size=200,
+            transport="pickle",
+        )
+        shm = simulate_fleet(
+            timeline(),
+            members=800,
+            seed=5,
+            jobs=2,
+            chunk_size=200,
+            transport="shm",
+        )
+        # The transport moves bits, it does not touch the physics: all
+        # three tallies must be bit-identical.
+        assert serial.tally.as_dict() == pickled.tally.as_dict()
+        assert serial.tally.as_dict() == shm.tally.as_dict()
+
+    def test_shm_serial_falls_back_cleanly(self):
+        # jobs=1 never allocates a shared buffer; the request is still
+        # legal and bit-identical.
+        serial = simulate_fleet(timeline(), members=400, seed=7, jobs=1)
+        shm = simulate_fleet(
+            timeline(), members=400, seed=7, jobs=1, transport="shm"
+        )
+        assert serial.tally.as_dict() == shm.tally.as_dict()
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ValueError, match="transport"):
+            simulate_fleet(
+                timeline(), members=10, seed=0, transport="carrier-pigeon"
+            )

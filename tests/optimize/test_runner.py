@@ -133,3 +133,20 @@ class TestCache:
         assert files
         payload = json.loads(files[0].read_text(encoding="utf-8"))
         assert "candidate" in payload and "simulated" in payload
+
+
+class TestTransport:
+    def test_shm_equals_pickle_equals_serial(self):
+        serial = optimize(SMALL_SPACE, FAST_SETTINGS, jobs=1)
+        pickled = optimize(
+            SMALL_SPACE, FAST_SETTINGS, jobs=2, transport="pickle"
+        )
+        shm = optimize(SMALL_SPACE, FAST_SETTINGS, jobs=2, transport="shm")
+        # The transport only moves the simulated rows; every refined
+        # evaluation must come back bit-identical.
+        assert serial.refined == pickled.refined
+        assert serial.refined == shm.refined
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ValueError, match="transport"):
+            optimize(SMALL_SPACE, FAST_SETTINGS, jobs=2, transport="smoke")

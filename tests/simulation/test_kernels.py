@@ -1,0 +1,184 @@
+"""Tests for the compiled select kernel and the eager-draw ceiling.
+
+The fused select kernel (:mod:`repro.simulation._kernels`) is a pure
+execution change: with the RNG draws untouched, forcing the fused path
+on (interpreted when numba is absent, compiled when present) must give
+bit-for-bit the same results as the vectorized NumPy select across
+replication, erasure schemes, importance-sampling bias and piecewise
+timelines.  The ``MAX_EAGER_TRIALS`` ceiling likewise only changes when
+draws happen, not what they are: the first block of a subdivided run
+consumes the generator exactly like a standalone run of that size.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import FaultModel
+from repro.core.redundancy import ErasureCode
+from repro.simulation import _kernels
+from repro.simulation import batch as batch_module
+from repro.simulation.batch import (
+    RateSegment,
+    simulate_batch,
+    simulate_batch_piecewise,
+)
+
+
+def fast_model():
+    return FaultModel(
+        mean_time_to_visible=500.0,
+        mean_time_to_latent=100.0,
+        mean_repair_visible=1.0,
+        mean_repair_latent=1.0,
+        mean_detect_latent=5.0,
+        correlation_factor=1.0,
+    )
+
+
+@pytest.fixture
+def fused_reset():
+    """Restore the kernel gate whatever a test does to it."""
+    yield
+    _kernels.force_fused(None)
+
+
+def _result_fields(result):
+    return (
+        result.lost,
+        result.end_time,
+        result.first_fault_type,
+        result.final_fault_type,
+        result.log_weight,
+        result.sweeps,
+    )
+
+
+def _assert_identical(a, b):
+    for left, right in zip(_result_fields(a), _result_fields(b)):
+        if isinstance(left, np.ndarray):
+            assert np.array_equal(left, right)
+        else:
+            assert left == right
+
+
+class TestForceFused:
+    def test_gate_semantics(self, fused_reset):
+        _kernels.force_fused(True)
+        assert _kernels.use_fused() is True
+        _kernels.force_fused(False)
+        assert _kernels.use_fused() is False
+        _kernels.force_fused(None)
+        assert _kernels.use_fused() is _kernels.NUMBA_AVAILABLE
+
+
+class TestSelectKernel:
+    @pytest.mark.parametrize(
+        "replicas,scheme,bias",
+        [
+            (2, None, None),
+            (3, None, None),
+            (4, ErasureCode(4, 2), None),
+            (6, ErasureCode(6, 4), None),
+            (2, None, 5.0),
+        ],
+    )
+    def test_fused_path_bit_identical(
+        self, fused_reset, replicas, scheme, bias
+    ):
+        kwargs = dict(
+            trials=4000,
+            horizon=5000.0,
+            seed=7,
+            replicas=replicas,
+            scheme=scheme,
+            bias=bias,
+        )
+        _kernels.force_fused(False)
+        plain = simulate_batch(fast_model(), **kwargs)
+        _kernels.force_fused(True)
+        fused = simulate_batch(fast_model(), **kwargs)
+        _assert_identical(plain, fused)
+
+    def test_fused_path_bit_identical_piecewise(self, fused_reset):
+        segments = [
+            RateSegment(model=fast_model(), end_time=2000.0),
+            RateSegment(
+                model=FaultModel(250.0, 50.0, 1.0, 1.0, 5.0, 1.0),
+                end_time=5000.0,
+            ),
+        ]
+
+        def run():
+            return simulate_batch_piecewise(segments, trials=2000, seed=9)
+
+        _kernels.force_fused(False)
+        plain = run()
+        _kernels.force_fused(True)
+        fused = run()
+        assert np.array_equal(plain.lost, fused.lost)
+        assert np.array_equal(plain.end_time, fused.end_time)
+        assert plain.sweeps == fused.sweeps
+
+    def test_select_matches_numpy_argmin_ties(self):
+        # First-occurrence tie-breaking: two columns at the same minimum
+        # must resolve to the lower index, exactly like np.argmin.
+        state = np.zeros((1, 3), dtype=np.int8)
+        next_visible = np.array([[4.0, 2.0, 2.0]])
+        next_latent = np.array([[9.0, 9.0, 9.0]])
+        recovery = np.zeros((1, 3))
+        which, event_time = _kernels.select_events_py(
+            state, next_visible, next_latent, recovery, np.array([0])
+        )
+        assert which[0] == 1
+        assert event_time[0] == 2.0
+
+
+@pytest.mark.skipif(
+    not _kernels.NUMBA_AVAILABLE, reason="numba not installed"
+)
+class TestCompiledKernel:
+    def test_compiled_select_used_and_identical(self, fused_reset):
+        # With numba present the default path is the compiled kernel;
+        # it must match the interpreted NumPy select bit for bit.
+        assert _kernels.select_events is not _kernels.select_events_py
+        _kernels.force_fused(False)
+        plain = simulate_batch(fast_model(), trials=2000, horizon=5000.0, seed=3)
+        _kernels.force_fused(None)
+        fused = simulate_batch(fast_model(), trials=2000, horizon=5000.0, seed=3)
+        _assert_identical(plain, fused)
+
+
+class TestEagerDrawCeiling:
+    def test_block_subdivision_preserves_prefix(self, monkeypatch):
+        # A run over the ceiling subdivides into blocks that reuse one
+        # generator sequentially, so the first block is bit-identical to
+        # a standalone run of the block size with the same seed.
+        monkeypatch.setattr(batch_module, "MAX_EAGER_TRIALS", 500)
+        small = simulate_batch(fast_model(), trials=500, horizon=5000.0, seed=11)
+        large = simulate_batch(fast_model(), trials=1200, horizon=5000.0, seed=11)
+        assert large.lost.size == 1200
+        assert np.array_equal(large.lost[:500], small.lost)
+        assert np.array_equal(large.end_time[:500], small.end_time)
+        assert np.array_equal(
+            large.first_fault_type[:500], small.first_fault_type
+        )
+
+    def test_subdivided_run_matches_statistics(self, monkeypatch):
+        # The concatenated blocks carry every trial exactly once.
+        monkeypatch.setattr(batch_module, "MAX_EAGER_TRIALS", 300)
+        result = simulate_batch(
+            fast_model(), trials=1000, horizon=5000.0, seed=2
+        )
+        assert result.lost.size == 1000
+        assert result.end_time.size == 1000
+        assert result.sweeps > 0
+
+    def test_initial_exponentials_shape_validated(self):
+        with pytest.raises(ValueError, match="initial_exponentials"):
+            simulate_batch(
+                fast_model(),
+                trials=10,
+                horizon=100.0,
+                seed=0,
+                initial_exponentials=np.ones((10, 3)),
+            )

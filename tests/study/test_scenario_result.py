@@ -266,3 +266,54 @@ class TestStudyResultSerialisation:
             value=1e6, std_error=1e4, units="hours", trials=10,
         )
         assert hours.estimate().clamp_hi is None
+
+
+class TestVarianceReductionAxis:
+    def test_default_policy_payload_has_no_key(self):
+        # The key is conditional so pre-existing scenarios keep their
+        # content hashes byte for byte.
+        payload = EstimatorPolicy().as_dict()
+        assert "variance_reduction" not in payload
+
+    def test_round_trips(self):
+        policy = EstimatorPolicy(engine="batch", trials=500, variance_reduction="cv")
+        payload = policy.as_dict()
+        assert payload["variance_reduction"] == "cv"
+        assert EstimatorPolicy.from_dict(payload) == policy
+
+    def test_hash_stability_of_existing_scenarios(self):
+        # A scenario that never mentions variance_reduction must hash
+        # exactly as one built before the axis existed.
+        for scenario in _scenarios_of_every_kind():
+            rebuilt = Scenario.from_dict(
+                json.loads(json.dumps(scenario.as_dict()))
+            )
+            assert rebuilt.content_hash() == scenario.content_hash()
+            assert "variance_reduction" not in json.dumps(scenario.as_dict())
+
+    def test_hash_is_sensitive_to_the_axis(self):
+        base = Scenario(
+            question="loss_probability",
+            system=SystemSpec(model=MODEL),
+            mission_years=2.0,
+            policy=EstimatorPolicy(engine="batch", trials=200),
+        )
+        reduced = Scenario(
+            question="loss_probability",
+            system=SystemSpec(model=MODEL),
+            mission_years=2.0,
+            policy=EstimatorPolicy(
+                engine="batch", trials=200, variance_reduction="cv"
+            ),
+        )
+        assert base.content_hash() != reduced.content_hash()
+
+    def test_unknown_reduction_rejected(self):
+        with pytest.raises(ValueError, match="variance_reduction"):
+            EstimatorPolicy(engine="batch", variance_reduction="sobol")
+
+    def test_requires_batch_engine(self):
+        with pytest.raises(ValueError, match="batch"):
+            EstimatorPolicy(engine="is", variance_reduction="qmc")
+        with pytest.raises(ValueError, match="batch"):
+            EstimatorPolicy(engine="event", variance_reduction="cv")

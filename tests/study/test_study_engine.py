@@ -322,3 +322,76 @@ class TestFacadeMatchesTheSubsystems:
         direct = simulate_fleet(timeline, members=300, seed=3, chunk_size=100)
         assert facade.details == direct.as_dict()
         assert facade.value == direct.loss_estimate().mean
+
+
+class TestVarianceReducedRuns:
+    def _scenario(self, reduction):
+        return Scenario(
+            question="loss_probability",
+            system=SystemSpec(model=MODEL),
+            mission_years=1.0,
+            policy=EstimatorPolicy(
+                engine="batch", trials=2000, seed=3, variance_reduction=reduction
+            ),
+        )
+
+    def test_cv_answers_through_the_facade(self):
+        result = run(self._scenario("cv"))
+        assert result.units == "probability"
+        assert result.method == "cv"
+        assert 0.0 < result.value < 1.0
+        assert result.ci_low <= result.value <= result.ci_high
+
+    def test_cv_mttdl_through_the_facade(self):
+        result = run(
+            Scenario(
+                question="mttdl",
+                system=SystemSpec(model=MODEL),
+                max_time_hours=1e5,
+                policy=EstimatorPolicy(
+                    engine="batch",
+                    trials=2000,
+                    seed=3,
+                    variance_reduction="cv",
+                ),
+            )
+        )
+        assert result.units == "hours"
+        assert result.method == "cv"
+        assert result.value > 0
+
+
+class TestProfile:
+    def test_absent_by_default(self):
+        result = run(_point("mttdl", trials=200, max_time_hours=1e6))
+        assert "profile" not in result.details
+
+    def test_phase_breakdown_present_when_requested(self):
+        scenario = _point("mttdl", trials=200, max_time_hours=1e6)
+        plain = run(scenario)
+        profiled = run(scenario, profile=True)
+        profile = profiled.details["profile"]
+        assert set(profile) == {
+            "setup_seconds",
+            "kernel_seconds",
+            "merge_seconds",
+        }
+        assert all(value >= 0.0 for value in profile.values())
+        # Profiling observes the run, it must not change the answer.
+        assert profiled.value == plain.value
+        assert profiled.ci_low == plain.ci_low
+
+    def test_fleet_profile(self):
+        scenario = Scenario(
+            question="fleet_survival",
+            timeline=stationary_timeline(MODEL, 2.0),
+            members=400,
+            chunk_size=200,
+            policy=EstimatorPolicy(engine="fleet", seed=4),
+        )
+        result = run(scenario, profile=True)
+        assert set(result.details["profile"]) == {
+            "setup_seconds",
+            "kernel_seconds",
+            "merge_seconds",
+        }
