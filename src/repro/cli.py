@@ -45,11 +45,16 @@ Sub-commands:
     Decades-scale fleet simulation over a non-stationary
     :class:`~repro.fleet.FleetTimeline` (``--timeline`` JSON file, or a
     generation-refresh demo timeline built from the flags).
+``trace``
+    Summarise a JSONL flight-recorder trace written by
+    ``--telemetry PATH``: per-phase latency table, cache hit rate, and
+    an ASCII convergence sparkline (see :mod:`repro.obs`).
 
 Every stochastic sub-command (``simulate``, ``optimize``, ``fleet``,
-``sweep-audit``) accepts ``--seed`` and ``--jobs`` through one shared
-parent parser, so the flags and their error messages are uniform.  All
-times are entered in hours, consistent with the library.
+``sweep-audit``) accepts ``--seed``, ``--jobs``, and
+``--telemetry PATH`` (record the run into a JSONL trace) through one
+shared parent parser, so the flags and their error messages are
+uniform.  All times are entered in hours, consistent with the library.
 """
 
 from __future__ import annotations
@@ -61,7 +66,7 @@ import sys
 import warnings
 from typing import Optional, Sequence
 
-from repro import study
+from repro import obs, study
 from repro.analysis.tables import format_scenario_table
 from repro.core.parameters import FaultModel
 from repro.core.redundancy import parse_scheme
@@ -107,6 +112,10 @@ def _stochastic_parent() -> argparse.ArgumentParser:
     parent.add_argument("--jobs", type=int, default=1,
                         help="worker processes where the engine parallelises "
                         "(optimize refinement, fleet chunks; default: 1, serial)")
+    parent.add_argument("--telemetry", default=None, metavar="PATH",
+                        help="record the run into a JSONL flight-recorder "
+                        "trace at PATH (appends; inspect with the trace "
+                        "sub-command; default: no telemetry)")
     return parent
 
 
@@ -135,15 +144,26 @@ def _answer(args: argparse.Namespace, scenario: study.Scenario) -> str:
     rendered next to the numbers they qualify), so their default
     stderr emission is suppressed here.
     """
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", HighCensoringWarning)
-        result = study.run(
-            scenario,
-            jobs=getattr(args, "jobs", 1),
-            cache_dir=getattr(args, "cache_dir", None),
-            transport=getattr(args, "transport", "pickle"),
-            profile=getattr(args, "profile", False),
-        )
+    telemetry = None
+    writer = None
+    trace_path = getattr(args, "telemetry", None)
+    if trace_path is not None:
+        writer = obs.TraceWriter(trace_path)
+        telemetry = obs.Telemetry(trace=writer)
+    try:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", HighCensoringWarning)
+            result = study.run(
+                scenario,
+                jobs=getattr(args, "jobs", 1),
+                cache_dir=getattr(args, "cache_dir", None),
+                transport=getattr(args, "transport", "pickle"),
+                profile=getattr(args, "profile", False),
+                telemetry=telemetry,
+            )
+    finally:
+        if writer is not None:
+            writer.close()
     if getattr(args, "json", False):
         return study.render_json(args.command, scenario, result)
     return study.render_text(scenario, result)
@@ -316,6 +336,23 @@ def _fleet_timeline_from_args(args: argparse.Namespace) -> FleetTimeline:
         )
     except KeyError as error:
         raise ValueError(error.args[0]) from error
+
+
+def _cmd_trace(args: argparse.Namespace) -> str:
+    try:
+        obs.validate_trace(args.path)
+        summary = obs.summarize_trace(args.path)
+    except FileNotFoundError as error:
+        raise ValueError(f"trace file not found: {args.path}") from error
+    except obs.TraceSchemaError as error:
+        raise ValueError(str(error)) from error
+    if args.json:
+        return json.dumps(
+            {"command": "trace", "schema": 1, "summary": summary},
+            indent=2,
+            sort_keys=True,
+        )
+    return obs.render(summary)
 
 
 def _cmd_fleet(args: argparse.Namespace) -> str:
@@ -498,6 +535,9 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="how parallel workers return refinement "
                                  "results: pickle through the pool pipe, or shm "
                                  "rows written into shared memory (default: pickle)")
+    optimize_parser.add_argument("--profile", action="store_true",
+                                 help="record a setup/kernel/merge wall-time "
+                                 "breakdown in the result details")
     optimize_parser.set_defaults(handler=_cmd_optimize)
 
     fleet = subparsers.add_parser(
@@ -545,6 +585,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="record a setup/kernel/merge wall-time breakdown "
                        "in the result details")
     fleet.set_defaults(handler=_cmd_fleet)
+
+    trace = subparsers.add_parser(
+        "trace",
+        parents=[json_parent],
+        help="summarise a JSONL flight-recorder trace written by "
+        "--telemetry (phase latencies, cache hit rate, convergence "
+        "sparkline)",
+    )
+    trace.add_argument("path", help="path to the JSONL trace file")
+    trace.set_defaults(handler=_cmd_trace)
 
     return parser
 

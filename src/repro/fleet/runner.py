@@ -23,6 +23,7 @@ from __future__ import annotations
 import hashlib
 import json
 import math
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
@@ -30,7 +31,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro import parallel
+from repro import obs, parallel
 from repro.fleet.aggregate import FleetTally
 from repro.fleet.population import simulate_fleet_chunk
 from repro.fleet.timeline import FleetTimeline
@@ -64,31 +65,46 @@ class FleetChunkCache:
     One JSON file per chunk, named by its content hash; unreadable or
     malformed entries degrade to re-simulation rather than failing the
     run (the same contract as the optimizer's
-    :class:`~repro.optimize.runner.ResultCache`).
+    :class:`~repro.optimize.runner.ResultCache`).  The ``hits`` /
+    ``misses`` / ``errors`` / ``stores`` counters make the degradation
+    observable: a corrupt entry is an ``error``, not a silent miss.
     """
 
     def __init__(self, directory: Union[str, Path]) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.errors = 0
+        self.stores = 0
 
     def _path(self, key: str) -> Path:
         return self.directory / f"fleet-{key}.json"
 
-    def get(self, key: str) -> Optional[FleetTally]:
+    def lookup(self, key: str) -> Tuple[Optional[FleetTally], str]:
+        """The tally for ``key`` plus the outcome: hit, miss or error."""
         path = self._path(key)
         if not path.exists():
-            return None
+            self.misses += 1
+            return None, "miss"
         try:
-            return FleetTally.from_dict(
+            tally = FleetTally.from_dict(
                 json.loads(path.read_text(encoding="utf-8"))
             )
         except (ValueError, KeyError, TypeError):
-            return None
+            self.errors += 1
+            return None, "error"
+        self.hits += 1
+        return tally, "hit"
+
+    def get(self, key: str) -> Optional[FleetTally]:
+        return self.lookup(key)[0]
 
     def put(self, key: str, tally: FleetTally) -> None:
         self._path(key).write_text(
             json.dumps(tally.as_dict(), sort_keys=True), encoding="utf-8"
         )
+        self.stores += 1
 
 
 def _chunk_task(payload: Tuple[FleetTimeline, int, int, int]) -> FleetTally:
@@ -108,6 +124,35 @@ def _chunk_task_shm(payload) -> None:
     parallel.write_row(spec, slot, tally.as_row())
 
 
+def _chunk_task_timed(
+    payload: Tuple[FleetTimeline, int, int, int]
+) -> Tuple[FleetTally, float]:
+    """Telemetry-enabled worker: the tally plus its wall time."""
+    start = time.perf_counter()
+    tally = _chunk_task(payload)
+    return tally, time.perf_counter() - start
+
+
+def _chunk_task_shm_timed(payload) -> None:
+    """Telemetry-enabled shm worker: tally row plus a wall-time column.
+
+    The extra column carries the chunk's wall time as integer
+    microseconds (:func:`repro.parallel.encode_seconds`), so the int64
+    row stays homogeneous.
+    """
+    chunk_payload, spec, slot = payload
+    start = time.perf_counter()
+    tally = _chunk_task(chunk_payload)
+    elapsed = time.perf_counter() - start
+    row = np.concatenate(
+        [
+            tally.as_row(),
+            np.asarray([parallel.encode_seconds(elapsed)], dtype=np.int64),
+        ]
+    )
+    parallel.write_row(spec, slot, row)
+
+
 @dataclass
 class FleetResult:
     """Everything one fleet run produced.
@@ -120,6 +165,8 @@ class FleetResult:
         chunks: chunks the fleet was cut into.
         new_chunks: chunks actually simulated this run.
         cache_hits: chunks served from the cache.
+        cache_errors: corrupt or unreadable cache entries encountered
+            (each degraded to re-simulation).
     """
 
     timeline: FleetTimeline
@@ -129,6 +176,7 @@ class FleetResult:
     chunks: int
     new_chunks: int
     cache_hits: int
+    cache_errors: int = 0
 
     def survival_curve(self) -> np.ndarray:
         return self.tally.survival_curve()
@@ -186,6 +234,7 @@ class FleetResult:
             "chunks": self.chunks,
             "new_chunks": self.new_chunks,
             "cache_hits": self.cache_hits,
+            "cache_errors": self.cache_errors,
         }
 
     def as_dict(self) -> Dict[str, object]:
@@ -246,6 +295,8 @@ def simulate_fleet(
         raise ValueError("jobs must be at least 1")
     parallel.check_transport(transport)
 
+    tel = obs.current()
+    timed = tel.enabled
     cache = FleetChunkCache(cache_dir) if cache_dir is not None else None
     sizes = _chunk_sizes(members, chunk_size)
     tallies: Dict[int, FleetTally] = {}
@@ -254,7 +305,19 @@ def simulate_fleet(
     for index, size in enumerate(sizes):
         cached = None
         if cache is not None:
-            cached = cache.get(chunk_cache_key(timeline, size, seed, index))
+            key = chunk_cache_key(timeline, size, seed, index)
+            cached, outcome = cache.lookup(key)
+            if timed:
+                tel.count(f"cache.fleet.{outcome}")
+                tel.event(
+                    "cache",
+                    data={
+                        "scope": "fleet",
+                        "chunk": index,
+                        "key": key,
+                        "outcome": outcome,
+                    },
+                )
         if cached is not None:
             tallies[index] = cached
             cache_hits += 1
@@ -266,13 +329,23 @@ def simulate_fleet(
 
     if pending:
         payloads = [payload for _, payload in pending]
+        chunk_seconds: List[Optional[float]] = [None] * len(pending)
         if jobs == 1 or len(pending) == 1:
-            results = [_chunk_task(payload) for payload in payloads]
+            if timed:
+                outcomes = [_chunk_task_timed(p) for p in payloads]
+                results = [tally for tally, _ in outcomes]
+                chunk_seconds = [seconds for _, seconds in outcomes]
+            else:
+                results = [_chunk_task(payload) for payload in payloads]
         elif transport == "shm":
             workers = min(jobs, len(pending))
+            width = FleetTally.row_width(timeline.year_bins())
+            # One extra int64 column per row carries the worker's wall
+            # time when telemetry is on; the disabled layout is exactly
+            # the historical one.
             buffer = parallel.SharedResultBuffer(
                 rows=len(pending),
-                width=FleetTally.row_width(timeline.year_bins()),
+                width=width + 1 if timed else width,
                 dtype="int64",
             )
             try:
@@ -281,29 +354,74 @@ def simulate_fleet(
                     (payload, spec, slot)
                     for slot, payload in enumerate(payloads)
                 ]
+                task = _chunk_task_shm_timed if timed else _chunk_task_shm
                 with ProcessPoolExecutor(max_workers=workers) as pool:
                     # Drain the map so worker exceptions surface before
                     # the rows are trusted.
-                    list(pool.map(_chunk_task_shm, shm_payloads))
-                results = [
-                    FleetTally.from_row(row) for row in buffer.array()
-                ]
+                    list(pool.map(task, shm_payloads))
+                rows = buffer.array()
+                if timed:
+                    results = [
+                        FleetTally.from_row(row[:width]) for row in rows
+                    ]
+                    chunk_seconds = [
+                        parallel.decode_seconds(row[width]) for row in rows
+                    ]
+                else:
+                    results = [FleetTally.from_row(row) for row in rows]
             finally:
                 buffer.destroy()
         else:
             workers = min(jobs, len(pending))
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                results = list(pool.map(_chunk_task, payloads))
-        for (index, payload), tally in zip(pending, results):
+                if timed:
+                    outcomes = list(pool.map(_chunk_task_timed, payloads))
+                    results = [tally for tally, _ in outcomes]
+                    chunk_seconds = [seconds for _, seconds in outcomes]
+                else:
+                    results = list(pool.map(_chunk_task, payloads))
+        for slot, ((index, payload), tally) in enumerate(
+            zip(pending, results)
+        ):
             tallies[index] = tally
             if cache is not None:
                 cache.put(
                     chunk_cache_key(timeline, payload[1], seed, index), tally
                 )
+                if timed:
+                    tel.count("cache.fleet.store")
+                    tel.event(
+                        "cache",
+                        data={
+                            "scope": "fleet",
+                            "chunk": index,
+                            "outcome": "store",
+                        },
+                    )
+            if timed and chunk_seconds[slot] is not None:
+                seconds = chunk_seconds[slot]
+                tel.observe("fleet.chunk_seconds", seconds)
+                tel.absorb(
+                    obs.worker_span_snapshot("worker.fleet_chunk", seconds)
+                )
+                tel.event(
+                    "chunk",
+                    data={
+                        "scope": "fleet",
+                        "chunk": index,
+                        "members": payload[1],
+                    },
+                    timing={"seconds": seconds},
+                )
 
     merged = tallies[0]
     for index in range(1, len(sizes)):
         merged = merged.merge(tallies[index])
+    if timed:
+        tel.count("fleet.runs")
+        tel.count("fleet.members", members)
+        tel.count("fleet.chunks", len(sizes))
+        tel.count("fleet.new_chunks", len(pending))
     return FleetResult(
         timeline=timeline,
         members=members,
@@ -312,4 +430,5 @@ def simulate_fleet(
         chunks=len(sizes),
         new_chunks=len(pending),
         cache_hits=cache_hits,
+        cache_errors=cache.errors if cache is not None else 0,
     )

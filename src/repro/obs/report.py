@@ -1,0 +1,168 @@
+"""Human-readable trace summaries for the ``repro.cli trace`` command.
+
+:func:`summarize_trace` folds a validated JSONL trace into the numbers
+an operator asks first — where did the wall time go (per-phase latency
+table from the ``study_end`` span payload), did the caches help (hit
+rate from ``cache`` events), and did the estimator converge (ASCII
+sparkline over the ``pilot_round`` relative-error trajectory).
+:func:`render` turns that summary into the text the CLI prints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+from pathlib import Path
+
+from .trace import read_trace
+
+__all__ = ["render", "sparkline", "summarize_trace"]
+
+#: Eight block heights; index by normalised value.
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Render a numeric series as a one-line ASCII/Unicode sparkline."""
+    finite = [v for v in values if v is not None]
+    if not finite:
+        return ""
+    low = min(finite)
+    high = max(finite)
+    span = high - low
+    out = []
+    for value in values:
+        if value is None:
+            out.append(" ")
+            continue
+        if span <= 0:
+            out.append(_SPARK_LEVELS[0])
+            continue
+        index = int((value - low) / span * (len(_SPARK_LEVELS) - 1))
+        out.append(_SPARK_LEVELS[index])
+    return "".join(out)
+
+
+def summarize_trace(
+    records_or_path: Union[str, Path, List[Dict[str, object]]],
+) -> Dict[str, object]:
+    """Digest a trace into phases, cache stats, and convergence.
+
+    Accepts either a path to a JSONL trace or the already-loaded record
+    list from :func:`repro.obs.trace.read_trace`.
+    """
+    if isinstance(records_or_path, (str, Path)):
+        records = read_trace(records_or_path)
+    else:
+        records = records_or_path
+
+    events: Dict[str, int] = {}
+    spans: Dict[str, float] = {}
+    cache = {"hits": 0, "misses": 0, "stores": 0, "errors": 0}
+    pilot_re: List[Optional[float]] = []
+    escalations: List[str] = []
+    studies: List[Dict[str, object]] = []
+    total_seconds: Optional[float] = None
+
+    for record in records:
+        kind = str(record["event"])
+        events[kind] = events.get(kind, 0) + 1
+        data = record["data"]
+        timing = record["timing"]
+        if kind == "study_start":
+            studies.append(
+                {
+                    "question": data.get("question"),
+                    "engine": data.get("engine"),
+                    "seed": data.get("seed"),
+                    "content_hash": data.get("content_hash"),
+                }
+            )
+        elif kind == "study_end":
+            for path, seconds in dict(timing.get("spans", {})).items():
+                spans[path] = spans.get(path, 0.0) + float(seconds)
+            if timing.get("total_seconds") is not None:
+                total_seconds = (total_seconds or 0.0) + float(
+                    timing["total_seconds"]
+                )
+        elif kind == "cache":
+            outcome = str(data.get("outcome", ""))
+            if outcome in ("hit", "miss", "store", "error"):
+                key = outcome + ("s" if outcome != "miss" else "es")
+                cache[key] += 1
+        elif kind == "pilot_round":
+            value = data.get("relative_error")
+            pilot_re.append(None if value is None else float(value))
+        elif kind == "escalation":
+            escalations.append(str(data.get("to", "?")))
+
+    lookups = cache["hits"] + cache["misses"]
+    hit_rate = cache["hits"] / lookups if lookups else None
+    return {
+        "records": len(records),
+        "events": events,
+        "studies": studies,
+        "spans": spans,
+        "total_seconds": total_seconds,
+        "cache": dict(cache),
+        "cache_hit_rate": hit_rate,
+        "pilot_relative_errors": pilot_re,
+        "escalations": escalations,
+    }
+
+
+def render(summary: Dict[str, object]) -> str:
+    """Format a :func:`summarize_trace` digest for the terminal."""
+    lines: List[str] = []
+    studies = summary["studies"]
+    lines.append(
+        f"trace: {summary['records']} records, {len(studies)} study run"
+        + ("" if len(studies) == 1 else "s")
+    )
+    for study in studies:
+        lines.append(
+            f"  {study.get('question')} via {study.get('engine')} "
+            f"(seed {study.get('seed')}, "
+            f"scenario {str(study.get('content_hash'))[:12]})"
+        )
+
+    spans = summary["spans"]
+    if spans:
+        lines.append("")
+        lines.append("phase latency:")
+        total = summary["total_seconds"]
+        width = max(len(path) for path in spans)
+        for path in sorted(spans, key=spans.get, reverse=True):
+            seconds = spans[path]
+            share = f" ({seconds / total:6.1%})" if total else ""
+            lines.append(f"  {path:<{width}}  {seconds:9.4f} s{share}")
+        if total is not None:
+            lines.append(f"  {'total':<{width}}  {total:9.4f} s")
+
+    cache = summary["cache"]
+    if any(cache.values()):
+        lines.append("")
+        rate = summary["cache_hit_rate"]
+        rate_text = f"{rate:.1%}" if rate is not None else "n/a"
+        lines.append(
+            f"cache: {cache['hits']} hits / {cache['misses']} misses "
+            f"(hit rate {rate_text}), {cache['stores']} stores, "
+            f"{cache['errors']} errors"
+        )
+
+    trajectory = summary["pilot_relative_errors"]
+    if trajectory:
+        shown = [v for v in trajectory if v is not None]
+        lines.append("")
+        lines.append(
+            "pilot convergence (relative error over "
+            f"{len(trajectory)} rounds): {sparkline(trajectory)}"
+        )
+        if shown:
+            lines.append(
+                f"  first {shown[0]:.3g} → last {shown[-1]:.3g}"
+            )
+    if summary["escalations"]:
+        lines.append(
+            "escalations: " + ", ".join(summary["escalations"])
+        )
+    return "\n".join(lines)

@@ -1,0 +1,192 @@
+"""The JSONL "flight recorder": schema-versioned study trace records.
+
+A trace is one line of JSON per event, appended in emission order:
+
+.. code-block:: json
+
+    {"schema": 1, "seq": 3, "event": "pilot_round",
+     "data": {"round": 1, "trials": 4096, "relative_error": 0.31},
+     "timing": {"seconds": 0.012}}
+
+The record splits into two payloads with different contracts:
+
+* ``data`` is **deterministic given the scenario seed** — content
+  hashes, resolved methods, trial counts, relative-error trajectories,
+  cache hit/miss outcomes.  Two runs of the same scenario at the same
+  seed (against the same cache state) produce identical
+  ``(event, data)`` sequences, which is what makes traces testable.
+* ``timing`` holds the nondeterministic measurements — wall times,
+  worker ids — and is ignored by determinism tests.
+
+Event kinds are open-ended (the schema constrains record *shape*, not
+the vocabulary), but the engines currently emit: ``study_start``,
+``engine_resolved``, ``pilot_round``, ``escalation``, ``estimate``,
+``cache``, ``chunk``, ``study_end``.
+
+JSON has no ``Infinity``/``NaN``, so non-finite floats anywhere in a
+payload are sanitised to ``null`` on the way out — an infinite MTTDL
+estimate must not produce an unparseable trace.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Dict, IO, Iterator, List, Optional, Union
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "TraceSchemaError",
+    "TraceWriter",
+    "read_trace",
+    "validate_record",
+    "validate_trace",
+]
+
+#: Bump when the record envelope (not the event vocabulary) changes.
+TRACE_SCHEMA_VERSION = 1
+
+
+class TraceSchemaError(ValueError):
+    """A trace record does not satisfy the flight-recorder schema."""
+
+
+def sanitize(value: object) -> object:
+    """Replace non-finite floats with ``None``, recursively.
+
+    JSON cannot represent ``inf``/``nan``; a perfectly-reliable system
+    reporting an infinite MTTDL must still produce a loadable trace.
+    """
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {key: sanitize(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [sanitize(item) for item in value]
+    return value
+
+
+class TraceWriter:
+    """Append schema-versioned event records to a JSONL sink.
+
+    Args:
+        path: file to append to (parent directories are created).
+            Pass an open text handle instead to write to an existing
+            stream (the writer then does not own or close it).
+    """
+
+    def __init__(self, path: Union[str, Path, IO[str]]) -> None:
+        if hasattr(path, "write"):
+            self._handle: IO[str] = path  # type: ignore[assignment]
+            self._owns_handle = False
+            self.path: Optional[Path] = None
+        else:
+            self.path = Path(path)
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a", encoding="utf-8")
+            self._owns_handle = True
+        self._seq = 0
+
+    def emit(
+        self,
+        event: str,
+        data: Optional[Dict[str, object]] = None,
+        timing: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Append one record; ``seq`` increments per writer."""
+        record = {
+            "schema": TRACE_SCHEMA_VERSION,
+            "seq": self._seq,
+            "event": str(event),
+            "data": sanitize(dict(data or {})),
+            "timing": sanitize(dict(timing or {})),
+        }
+        self._seq += 1
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def close(self) -> None:
+        """Flush and (if this writer opened the file) close the sink."""
+        self._handle.flush()
+        if self._owns_handle:
+            self._handle.close()
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def validate_record(record: object, line: int = 0) -> Dict[str, object]:
+    """Check one decoded record against the envelope schema.
+
+    Returns the record on success; raises :class:`TraceSchemaError`
+    naming the offending 1-based ``line`` otherwise.
+    """
+    where = f"trace line {line}" if line else "trace record"
+    if not isinstance(record, dict):
+        raise TraceSchemaError(f"{where}: expected an object, got "
+                               f"{type(record).__name__}")
+    missing = {"schema", "seq", "event", "data", "timing"} - set(record)
+    if missing:
+        raise TraceSchemaError(
+            f"{where}: missing keys {sorted(missing)}"
+        )
+    if record["schema"] != TRACE_SCHEMA_VERSION:
+        raise TraceSchemaError(
+            f"{where}: schema {record['schema']!r} is not "
+            f"{TRACE_SCHEMA_VERSION}"
+        )
+    if not isinstance(record["seq"], int) or record["seq"] < 0:
+        raise TraceSchemaError(f"{where}: seq must be a non-negative int")
+    if not isinstance(record["event"], str) or not record["event"]:
+        raise TraceSchemaError(f"{where}: event must be a non-empty string")
+    for key in ("data", "timing"):
+        if not isinstance(record[key], dict):
+            raise TraceSchemaError(f"{where}: {key} must be an object")
+    return record
+
+
+def read_trace(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Load and validate every record of a JSONL trace file."""
+    return list(iter_trace(path))
+
+
+def iter_trace(path: Union[str, Path]) -> Iterator[Dict[str, object]]:
+    """Yield validated records one line at a time."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise TraceSchemaError(
+                    f"trace line {line_number}: invalid JSON ({error})"
+                ) from error
+            yield validate_record(record, line=line_number)
+
+
+def validate_trace(path: Union[str, Path]) -> int:
+    """Validate a whole trace file; returns the number of records.
+
+    Beyond per-record shape, the sequence numbers of each writer run
+    must start at 0 and increase by 1 — the "no dropped lines" check CI
+    runs against the benchmark artifact.
+    """
+    count = 0
+    expected_seq = 0
+    for record in iter_trace(path):
+        seq = record["seq"]
+        if seq == 0:
+            expected_seq = 0  # a new writer appended to the same file
+        if seq != expected_seq:
+            raise TraceSchemaError(
+                f"trace record {count}: seq {seq} breaks the run "
+                f"(expected {expected_seq})"
+            )
+        expected_seq += 1
+        count += 1
+    return count

@@ -23,6 +23,7 @@ from __future__ import annotations
 import hashlib
 import json
 import math
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from pathlib import Path
@@ -30,7 +31,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro import parallel
+from repro import obs, parallel
 from repro.optimize.evaluate import (
     DEFAULT_SCREEN_SLACK,
     CandidateEvaluation,
@@ -64,30 +65,48 @@ class ResultCache:
 
     Each entry is one JSON file named by the evaluation's content hash;
     unreadable or malformed entries are treated as misses so a corrupted
-    cache degrades to re-evaluation instead of failing the run.
+    cache degrades to re-evaluation instead of failing the run.  The
+    ``hits`` / ``misses`` / ``errors`` / ``stores`` counters make the
+    degradation observable: a corrupt entry is an ``error``, not a
+    silent miss.
     """
 
     def __init__(self, directory: Union[str, Path]) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.errors = 0
+        self.stores = 0
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
 
-    def get(self, key: str) -> Optional[CandidateEvaluation]:
+    def lookup(
+        self, key: str
+    ) -> Tuple[Optional[CandidateEvaluation], str]:
+        """The entry for ``key`` plus the outcome: hit, miss or error."""
         path = self._path(key)
         if not path.exists():
-            return None
+            self.misses += 1
+            return None, "miss"
         try:
             payload = json.loads(path.read_text(encoding="utf-8"))
-            return CandidateEvaluation.from_dict(payload)
+            evaluation = CandidateEvaluation.from_dict(payload)
         except (ValueError, KeyError, TypeError):
-            return None
+            self.errors += 1
+            return None, "error"
+        self.hits += 1
+        return evaluation, "hit"
+
+    def get(self, key: str) -> Optional[CandidateEvaluation]:
+        return self.lookup(key)[0]
 
     def put(self, key: str, evaluation: CandidateEvaluation) -> None:
         self._path(key).write_text(
             json.dumps(evaluation.as_dict(), sort_keys=True), encoding="utf-8"
         )
+        self.stores += 1
 
     def __len__(self) -> int:
         return len(list(self.directory.glob("*.json")))
@@ -149,6 +168,29 @@ def _refine_task_shm(payload) -> None:
     parallel.write_row(spec, slot, _simulated_row(result.simulated))
 
 
+def _refine_task_timed(
+    payload: Tuple[CandidateEvaluation, EvaluationSettings]
+) -> Tuple[CandidateEvaluation, float]:
+    """Telemetry-enabled worker: the refinement plus its wall time."""
+    start = time.perf_counter()
+    result = _refine_task(payload)
+    return result, time.perf_counter() - start
+
+
+def _refine_task_shm_timed(payload) -> None:
+    """Telemetry-enabled shm worker: row plus a wall-time column.
+
+    The float64 buffer stores the worker's wall time in seconds directly
+    as the extra column.
+    """
+    refine_payload, spec, slot = payload
+    start = time.perf_counter()
+    result = _refine_task(refine_payload)
+    elapsed = time.perf_counter() - start
+    row = np.concatenate([_simulated_row(result.simulated), [elapsed]])
+    parallel.write_row(spec, slot, row)
+
+
 @dataclass
 class OptimizationResult:
     """Everything one planner run produced.
@@ -163,6 +205,8 @@ class OptimizationResult:
         frontier: CI-aware Pareto frontier of the refined evaluations.
         new_evaluations: refinements actually computed this run.
         cache_hits: refinements served from the result cache.
+        cache_errors: corrupt or unreadable cache entries encountered
+            (each degraded to re-evaluation).
     """
 
     space: DesignSpace
@@ -173,6 +217,7 @@ class OptimizationResult:
     frontier: List[CandidateEvaluation] = field(default_factory=list)
     new_evaluations: int = 0
     cache_hits: int = 0
+    cache_errors: int = 0
 
     @property
     def candidates(self) -> int:
@@ -197,6 +242,7 @@ class OptimizationResult:
             "refined": len(self.refined),
             "new_evaluations": self.new_evaluations,
             "cache_hits": self.cache_hits,
+            "cache_errors": self.cache_errors,
             "frontier_size": len(self.frontier),
         }
 
@@ -219,13 +265,27 @@ def refine_evaluations(
     if jobs < 1:
         raise ValueError("jobs must be at least 1")
     parallel.check_transport(transport)
+    tel = obs.current()
+    timed = tel.enabled
     refined: Dict[int, CandidateEvaluation] = {}
     pending: List[Tuple[int, CandidateEvaluation]] = []
     cache_hits = 0
     for index, evaluation in enumerate(survivors):
         cached = None
         if cache is not None:
-            cached = cache.get(evaluation_cache_key(evaluation, settings))
+            key = evaluation_cache_key(evaluation, settings)
+            cached, outcome = cache.lookup(key)
+            if timed:
+                tel.count(f"cache.optimize.{outcome}")
+                tel.event(
+                    "cache",
+                    data={
+                        "scope": "optimize",
+                        "candidate": evaluation.candidate.key(),
+                        "key": key,
+                        "outcome": outcome,
+                    },
+                )
         if cached is not None and cached.refined:
             # Only the Monte-Carlo refinement is reused; the annual cost
             # and analytic screen stay freshly computed, so edited cost
@@ -238,12 +298,22 @@ def refine_evaluations(
 
     if pending:
         payloads = [(evaluation, settings) for _, evaluation in pending]
+        refine_seconds: List[Optional[float]] = [None] * len(pending)
         if jobs == 1 or len(pending) == 1:
-            results = [_refine_task(payload) for payload in payloads]
+            if timed:
+                outcomes = [_refine_task_timed(p) for p in payloads]
+                results = [result for result, _ in outcomes]
+                refine_seconds = [seconds for _, seconds in outcomes]
+            else:
+                results = [_refine_task(payload) for payload in payloads]
         elif transport == "shm":
             workers = min(jobs, len(pending))
+            # One extra float64 column per row carries the worker's wall
+            # time when telemetry is on; the disabled layout is exactly
+            # the historical one.
             buffer = parallel.SharedResultBuffer(
-                rows=len(pending), width=_SIMULATED_ROW_WIDTH
+                rows=len(pending),
+                width=_SIMULATED_ROW_WIDTH + 1 if timed else _SIMULATED_ROW_WIDTH,
             )
             try:
                 spec = buffer.spec()
@@ -251,8 +321,9 @@ def refine_evaluations(
                     (payload, spec, slot)
                     for slot, payload in enumerate(payloads)
                 ]
+                task = _refine_task_shm_timed if timed else _refine_task_shm
                 with ProcessPoolExecutor(max_workers=workers) as pool:
-                    list(pool.map(_refine_task_shm, shm_payloads))
+                    list(pool.map(task, shm_payloads))
                 rows = buffer.array()
                 # Rebuild each evaluation from the parent's own screened
                 # copy (same recipe as a cache hit); only the simulated
@@ -261,7 +332,7 @@ def refine_evaluations(
                     replace(
                         evaluation,
                         simulated=_simulated_from_row(
-                            rows[slot],
+                            rows[slot][:_SIMULATED_ROW_WIDTH],
                             spawn_seed(
                                 settings.seed, evaluation.candidate.key()
                             ),
@@ -269,16 +340,49 @@ def refine_evaluations(
                     )
                     for slot, (_, evaluation) in enumerate(pending)
                 ]
+                if timed:
+                    refine_seconds = [
+                        float(row[_SIMULATED_ROW_WIDTH]) for row in rows
+                    ]
             finally:
                 buffer.destroy()
         else:
             workers = min(jobs, len(pending))
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                results = list(pool.map(_refine_task, payloads))
-        for (index, _), result in zip(pending, results):
+                if timed:
+                    outcomes = list(pool.map(_refine_task_timed, payloads))
+                    results = [result for result, _ in outcomes]
+                    refine_seconds = [seconds for _, seconds in outcomes]
+                else:
+                    results = list(pool.map(_refine_task, payloads))
+        for slot, ((index, _), result) in enumerate(zip(pending, results)):
             refined[index] = result
             if cache is not None:
                 cache.put(evaluation_cache_key(result, settings), result)
+                if timed:
+                    tel.count("cache.optimize.store")
+                    tel.event(
+                        "cache",
+                        data={
+                            "scope": "optimize",
+                            "candidate": result.candidate.key(),
+                            "outcome": "store",
+                        },
+                    )
+            if timed and refine_seconds[slot] is not None:
+                seconds = refine_seconds[slot]
+                tel.observe("optimize.refine_seconds", seconds)
+                tel.absorb(
+                    obs.worker_span_snapshot("worker.refine", seconds)
+                )
+                tel.event(
+                    "chunk",
+                    data={
+                        "scope": "optimize",
+                        "candidate": result.candidate.key(),
+                    },
+                    timing={"seconds": seconds},
+                )
 
     ordered = [refined[index] for index in range(len(survivors))]
     return ordered, len(pending), cache_hits
@@ -311,28 +415,43 @@ def optimize(
             (``"pickle"`` or ``"shm"``; see :mod:`repro.parallel`).
     """
     settings = settings or EvaluationSettings()
+    tel = obs.current()
     cache = ResultCache(cache_dir) if cache_dir is not None else None
 
-    screened = sorted(
-        screen_candidates(space.candidates(), settings),
-        key=lambda e: (e.annual_cost, e.analytic_loss_probability),
-    )
-    survivors = survivors_for_refinement(screened, slack=slack)
+    with tel.span("screen"):
+        screened = sorted(
+            screen_candidates(space.candidates(), settings),
+            key=lambda e: (e.annual_cost, e.analytic_loss_probability),
+        )
+        survivors = survivors_for_refinement(screened, slack=slack)
 
     if refine_survivors:
-        refined, new_evaluations, cache_hits = refine_evaluations(
-            survivors, settings, jobs=jobs, cache=cache, transport=transport
-        )
+        with tel.span("refine"):
+            refined, new_evaluations, cache_hits = refine_evaluations(
+                survivors,
+                settings,
+                jobs=jobs,
+                cache=cache,
+                transport=transport,
+            )
     else:
         refined, new_evaluations, cache_hits = list(survivors), 0, 0
 
+    with tel.span("frontier"):
+        frontier = pareto_frontier(refined)
+    if tel.enabled:
+        tel.count("optimize.runs")
+        tel.count("optimize.candidates", len(screened))
+        tel.count("optimize.survivors", len(survivors))
+        tel.count("optimize.new_evaluations", new_evaluations)
     return OptimizationResult(
         space=space,
         settings=settings,
         screened=screened,
         survivors=survivors,
         refined=refined,
-        frontier=pareto_frontier(refined),
+        frontier=frontier,
         new_evaluations=new_evaluations,
         cache_hits=cache_hits,
+        cache_errors=cache.errors if cache is not None else 0,
     )

@@ -29,6 +29,24 @@ import numpy as np
 #: Recognised chunk-result transports.
 TRANSPORTS: Tuple[str, ...] = ("pickle", "shm")
 
+#: Resolution of the integer wall-time encoding below.
+_MICROSECONDS_PER_SECOND = 1_000_000
+
+
+def encode_seconds(seconds: float) -> int:
+    """Encode a wall time as integer microseconds.
+
+    Telemetry-enabled shared-memory runs append one wall-time column to
+    each worker's result row; on ``int64`` buffers (the fleet tallies)
+    the time rides as microseconds, exact far beyond any chunk duration.
+    """
+    return int(round(seconds * _MICROSECONDS_PER_SECOND))
+
+
+def decode_seconds(value: float) -> float:
+    """Invert :func:`encode_seconds`."""
+    return float(value) / _MICROSECONDS_PER_SECOND
+
 
 def check_transport(transport: str) -> None:
     """Validate a ``transport`` knob."""

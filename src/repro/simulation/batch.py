@@ -74,11 +74,13 @@ weighted estimators live in :mod:`repro.simulation.rare_event`.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.faults import FaultType
 from repro.core.parameters import FaultModel
 from repro.core.redundancy import RedundancyScheme
@@ -262,8 +264,10 @@ def simulate_batch(
 
     if rng is None:
         rng = batch_generator(seed, chunk)
+    tel = obs.current()
+    began = time.perf_counter() if tel.enabled else 0.0
     if trials <= MAX_EAGER_TRIALS:
-        return _simulate_batch_block(
+        result = _simulate_batch_block(
             model,
             trials,
             horizon,
@@ -274,32 +278,40 @@ def simulate_batch(
             bias,
             initial_exponentials,
         )
-    # Memory cap: subdivide, reusing the same generator sequentially so
-    # the whole run stays a deterministic function of (seed, chunk).
-    blocks = []
-    start = 0
-    while start < trials:
-        size = min(MAX_EAGER_TRIALS, trials - start)
-        init = (
-            initial_exponentials[start : start + size]
-            if initial_exponentials is not None
-            else None
-        )
-        blocks.append(
-            _simulate_batch_block(
-                model,
-                size,
-                horizon,
-                rng,
-                replicas,
-                loss_threshold,
-                audits_per_year,
-                bias,
-                init,
+    else:
+        # Memory cap: subdivide, reusing the same generator sequentially
+        # so the whole run stays a deterministic function of
+        # (seed, chunk).
+        blocks = []
+        start = 0
+        while start < trials:
+            size = min(MAX_EAGER_TRIALS, trials - start)
+            init = (
+                initial_exponentials[start : start + size]
+                if initial_exponentials is not None
+                else None
             )
-        )
-        start += size
-    return _concatenate_blocks(blocks, float(horizon))
+            blocks.append(
+                _simulate_batch_block(
+                    model,
+                    size,
+                    horizon,
+                    rng,
+                    replicas,
+                    loss_threshold,
+                    audits_per_year,
+                    bias,
+                    init,
+                )
+            )
+            start += size
+        result = _concatenate_blocks(blocks, float(horizon))
+    if tel.enabled:
+        tel.count("batch.calls")
+        tel.count("batch.trials", trials)
+        tel.count("batch.sweeps", result.sweeps)
+        tel.observe("batch.call_seconds", time.perf_counter() - began)
+    return result
 
 
 def _concatenate_blocks(

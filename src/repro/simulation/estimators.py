@@ -26,6 +26,7 @@ import warnings
 from dataclasses import dataclass
 from typing import Callable, Optional, Tuple
 
+from repro import obs
 from repro.core.parameters import FaultModel
 from repro.core.redundancy import RedundancyScheme
 from repro.core.units import HOURS_PER_YEAR
@@ -292,6 +293,34 @@ def mttdl_mle(
     )
 
 
+def _emit_estimate(
+    estimator: str, estimate: MonteCarloEstimate
+) -> MonteCarloEstimate:
+    """Record the final estimate as a flight-recorder event.
+
+    Pass-through, so every ``return`` path of the estimation loops can
+    report the resolved method, the sampling diagnostics and the answer
+    itself in one line.  Non-finite means (a lossless MTTDL) are
+    sanitised by the trace writer.
+    """
+    tel = obs.current()
+    if tel.enabled:
+        tel.event(
+            "estimate",
+            data={
+                "estimator": estimator,
+                "method": estimate.method,
+                "mean": estimate.mean,
+                "std_error": estimate.std_error,
+                "trials": estimate.trials,
+                "losses": estimate.losses,
+                "censored": estimate.censored,
+                "effective_sample_size": estimate.effective_sample_size,
+            },
+        )
+    return estimate
+
+
 def _is_loss_tally(
     model: FaultModel,
     trials: int,
@@ -303,10 +332,12 @@ def _is_loss_tally(
     target_relative_error: Optional[float],
     cap: int,
     scheme: Optional[RedundancyScheme] = None,
+    estimator: str = "loss_probability",
 ):
     """Run adaptive importance-sampled batch chunks into a tally."""
     from repro.simulation import rare_event
 
+    tel = obs.current()
     if bias is None:
         bias = rare_event.default_failure_bias(
             model, replicas, horizon, scheme=scheme
@@ -334,6 +365,18 @@ def _is_loss_tally(
             )
         )
         chunk += 1
+        if tel.enabled:
+            tel.event(
+                "pilot_round",
+                data={
+                    "estimator": estimator,
+                    "method": "is",
+                    "round": chunk,
+                    "trials": tally.trials,
+                    "relative_error": tally.relative_error,
+                    "effective_sample_size": tally.ess,
+                },
+            )
     return tally
 
 
@@ -407,8 +450,12 @@ def run_mttdl(
             max_trials=max_trials,
             scheme=scheme,
         )
-        return rare_event.mttdl_from_loss_probability(estimate, max_time)
+        return _emit_estimate(
+            "mttdl",
+            rare_event.mttdl_from_loss_probability(estimate, max_time),
+        )
 
+    tel = obs.current()
     cap = adaptive_cap(trials, max_trials)
     total_time = 0.0
     losses = 0
@@ -450,6 +497,21 @@ def run_mttdl(
                     losses += 1
         done += chunk_trials
         chunk += 1
+        if tel.enabled:
+            tel.event(
+                "pilot_round",
+                data={
+                    "estimator": "mttdl",
+                    "method": "standard",
+                    "round": chunk,
+                    "trials": done,
+                    "losses": losses,
+                    # The MLE's relative error is exactly 1/sqrt(losses).
+                    "relative_error": (
+                        1.0 / math.sqrt(losses) if losses else None
+                    ),
+                },
+            )
         if (
             method == "auto"
             and chunk == 1
@@ -469,6 +531,18 @@ def run_mttdl(
             # a custom factory cannot switch (IS on the bare model would
             # estimate a different system).
             use_is = True
+            if tel.enabled:
+                tel.count("estimator.escalations")
+                tel.event(
+                    "escalation",
+                    data={
+                        "estimator": "mttdl",
+                        "from": "standard",
+                        "to": "is",
+                        "pilot_trials": done,
+                        "pilot_losses": losses,
+                    },
+                )
     if use_is:
         from repro.simulation import rare_event
 
@@ -483,11 +557,15 @@ def run_mttdl(
             target_relative_error=target_relative_error,
             cap=cap,
             scheme=scheme,
+            estimator="mttdl",
         )
-        return rare_event.mttdl_from_loss_probability(
-            tally.loss_estimate(), max_time
+        return _emit_estimate(
+            "mttdl",
+            rare_event.mttdl_from_loss_probability(
+                tally.loss_estimate(), max_time
+            ),
         )
-    return mttdl_mle(total_time, losses, done)
+    return _emit_estimate("mttdl", mttdl_mle(total_time, losses, done))
 
 
 def _splitting_estimate(
@@ -600,32 +678,39 @@ def run_loss_probability(
     if variance_reduction != "none":
         from repro.simulation import variance_reduction as vr_module
 
-        return vr_module.variance_reduced_loss_probability(
-            variance_reduction,
-            model,
-            mission_time,
-            trials,
-            seed,
-            replicas=replicas,
-            audits_per_year=audits_per_year,
-            target_relative_error=target_relative_error,
-            max_trials=max_trials,
-            scheme=scheme,
+        return _emit_estimate(
+            "loss_probability",
+            vr_module.variance_reduced_loss_probability(
+                variance_reduction,
+                model,
+                mission_time,
+                trials,
+                seed,
+                replicas=replicas,
+                audits_per_year=audits_per_year,
+                target_relative_error=target_relative_error,
+                max_trials=max_trials,
+                scheme=scheme,
+            ),
         )
 
+    tel = obs.current()
     cap = adaptive_cap(trials, max_trials)
     if method == "splitting":
-        return _splitting_estimate(
-            model if custom_factory is None else None,
-            custom_factory,
-            mission_time,
-            trials,
-            seed,
-            replicas,
-            audits_per_year,
-            target_relative_error,
-            cap,
-            scheme=scheme,
+        return _emit_estimate(
+            "loss_probability",
+            _splitting_estimate(
+                model if custom_factory is None else None,
+                custom_factory,
+                mission_time,
+                trials,
+                seed,
+                replicas,
+                audits_per_year,
+                target_relative_error,
+                cap,
+                scheme=scheme,
+            ),
         )
     losses = 0
     done = 0
@@ -663,6 +748,23 @@ def run_loss_probability(
                     losses += 1
         done += chunk_trials
         chunk += 1
+        if tel.enabled:
+            tel.event(
+                "pilot_round",
+                data={
+                    "estimator": "loss_probability",
+                    "method": "standard",
+                    "round": chunk,
+                    "trials": done,
+                    "losses": losses,
+                    # Binomial relative error given the observed count.
+                    "relative_error": (
+                        math.sqrt((1.0 - losses / done) / losses)
+                        if losses
+                        else None
+                    ),
+                },
+            )
         if method == "auto" and losses < AUTO_MIN_LOSSES:
             # Too few losses for a meaningful CI: discard the pilot and
             # switch to a rare-event method — importance sampling when
@@ -673,6 +775,18 @@ def run_loss_probability(
                 use_is = True
             else:
                 use_splitting = True
+            if tel.enabled:
+                tel.count("estimator.escalations")
+                tel.event(
+                    "escalation",
+                    data={
+                        "estimator": "loss_probability",
+                        "from": "standard",
+                        "to": "is" if use_is else "splitting",
+                        "pilot_trials": done,
+                        "pilot_losses": losses,
+                    },
+                )
     if use_is:
         tally = _is_loss_tally(
             model,
@@ -686,28 +800,35 @@ def run_loss_probability(
             cap=cap,
             scheme=scheme,
         )
-        return tally.loss_estimate()
+        return _emit_estimate("loss_probability", tally.loss_estimate())
     if use_splitting:
-        return _splitting_estimate(
-            None,
-            custom_factory,
-            mission_time,
-            trials,
-            seed,
-            replicas,
-            audits_per_year,
-            target_relative_error,
-            cap,
-            scheme=scheme,
+        return _emit_estimate(
+            "loss_probability",
+            _splitting_estimate(
+                None,
+                custom_factory,
+                mission_time,
+                trials,
+                seed,
+                replicas,
+                audits_per_year,
+                target_relative_error,
+                cap,
+                scheme=scheme,
+            ),
         )
     p = losses / done
     std_error = math.sqrt(max(p * (1.0 - p), 1e-12) / done)
-    return MonteCarloEstimate(
-        mean=p,
-        std_error=std_error,
-        trials=done,
-        # Surviving trials are censored-at-mission-end observations, so
-        # the ``losses`` property stays meaningful for this estimator.
-        censored=done - losses,
-        clamp_hi=1.0,
+    return _emit_estimate(
+        "loss_probability",
+        MonteCarloEstimate(
+            mean=p,
+            std_error=std_error,
+            trials=done,
+            # Surviving trials are censored-at-mission-end observations,
+            # so the ``losses`` property stays meaningful for this
+            # estimator.
+            censored=done - losses,
+            clamp_hi=1.0,
+        ),
     )

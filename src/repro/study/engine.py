@@ -21,9 +21,18 @@ exact CTMC (both cost microseconds next to any simulation) and records
 the comparison in the result's details.
 
 Estimator warnings (e.g. :class:`HighCensoringWarning`) are captured
-into ``StudyResult.warnings`` *and* re-emitted, so programmatic callers
-keep their warning semantics while renderers can print the notes next
-to the numbers they qualify.
+into ``StudyResult.warnings`` *and* re-emitted — deduplicated first, so
+a pilot loop that trips the same censoring warning chunk after chunk
+surfaces it once, not once per chunk.
+
+Observability: every run executes inside a :mod:`repro.obs` telemetry
+session.  By default that session holds the no-op registry (near-zero
+overhead); ``profile=True`` swaps in a live registry whose top-level
+``setup`` / ``kernel`` / ``merge`` spans become
+``result.details["profile"]``, and passing ``telemetry=`` hands in a
+caller-owned registry (optionally wired to a JSONL
+:class:`~repro.obs.trace.TraceWriter` flight recorder) whose full
+snapshot lands in ``result.details["telemetry"]``.
 """
 
 from __future__ import annotations
@@ -34,6 +43,7 @@ from dataclasses import replace
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
+from repro import obs
 from repro.analysis.compare import compare_models
 from repro.analysis.sweep import (
     SweepResult,
@@ -67,6 +77,7 @@ def run(
     cache_dir: Optional[Union[str, Path]] = None,
     transport: str = "pickle",
     profile: bool = False,
+    telemetry: Optional[obs.Telemetry] = None,
 ) -> StudyResult:
     """Answer a scenario and return its provenance-carrying result.
 
@@ -81,9 +92,17 @@ def run(
         transport: chunk-result transport for the parallel engines
             (``"pickle"`` or ``"shm"``; see :mod:`repro.parallel`).
         profile: record a setup/kernel/merge wall-time breakdown in
-            ``result.details["profile"]`` (point-estimate and
-            fleet-survival questions); off by default so serialised
+            ``result.details["profile"]``; off by default so serialised
             results are byte-stable.
+        telemetry: a caller-owned :class:`repro.obs.Telemetry` registry
+            to record the run into.  The registry's snapshot is attached
+            as ``result.details["telemetry"]``, and — when the registry
+            carries a :class:`~repro.obs.trace.TraceWriter` — the run
+            emits flight-recorder events (``study_start``,
+            ``engine_resolved``, ``pilot_round``, ``escalation``,
+            ``estimate``, ``cache``, ``chunk``, ``study_end``).
+            ``None`` (the default) runs against the no-op registry;
+            results are bit-identical either way.
 
     Raises:
         ValueError: for invalid runtime knobs or infeasible frontier
@@ -91,63 +110,111 @@ def run(
     """
     if jobs < 1:
         raise ValueError("jobs must be at least 1")
+    tel = telemetry
+    if tel is None:
+        # ``profile`` needs a live registry for the spans, but the
+        # snapshot stays internal: details["telemetry"] appears only for
+        # caller-supplied registries, keeping default payloads stable.
+        tel = obs.Telemetry() if profile else obs.NULL
+    scenario_hash = scenario.content_hash()
     start = time.perf_counter()
-    with _warnings.catch_warnings(record=True) as caught:
+    with obs.session(tel), _warnings.catch_warnings(record=True) as caught:
         _warnings.simplefilter("always")
+        if tel.enabled:
+            tel.event(
+                "study_start",
+                data={
+                    "question": scenario.question,
+                    "engine": scenario.policy.engine,
+                    "seed": scenario.policy.seed,
+                    "content_hash": scenario_hash,
+                    "jobs": jobs,
+                    "transport": transport,
+                },
+            )
         if scenario.question in ("mttdl", "loss_probability"):
-            result = _run_point_estimate(scenario, profile=profile)
+            result = _run_point_estimate(scenario)
         elif scenario.question == "sweep":
             result = _run_sweep(scenario)
         elif scenario.question == "frontier":
             result = _run_frontier(scenario, jobs, cache_dir, transport)
         else:
-            result = _run_fleet(
-                scenario, jobs, cache_dir, transport, profile=profile
-            )
+            result = _run_fleet(scenario, jobs, cache_dir, transport)
+    # Deduplicate before surfacing: adaptive pilot loops can trip the
+    # same warning chunk after chunk, and repeating it adds noise, not
+    # information.  First occurrence order is preserved.
+    seen = set()
+    unique = []
     notes: List[str] = []
     for entry in caught:
+        key = (entry.category, str(entry.message))
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(entry)
         if issubclass(entry.category, HighCensoringWarning):
             notes.append(str(entry.message))
+    for entry in unique:
         # Re-emit everything (including the censoring notes): the
         # facade must not silently swallow warning semantics callers
         # and tests rely on.
         _warnings.warn_explicit(
             entry.message, entry.category, entry.filename, entry.lineno
         )
+    wall_time = time.perf_counter() - start
+    details = result.details
+    if tel.enabled:
+        snapshot = tel.snapshot()
+        tel.event(
+            "study_end",
+            data={
+                "question": result.question,
+                "engine": result.engine,
+                "method": result.method,
+                "trials": result.trials,
+                "warnings": len(notes),
+            },
+            timing={
+                "total_seconds": wall_time,
+                "spans": {
+                    path: seconds
+                    for path, (_, seconds) in snapshot.spans.items()
+                },
+            },
+        )
+        details = dict(details)
+        if profile:
+            phases = _profile_phases(snapshot)
+            if phases:
+                details["profile"] = phases
+        if telemetry is not None:
+            # Snapshot again so the payload includes the study_end
+            # event count itself.
+            details["telemetry"] = tel.snapshot().as_dict()
     return replace(
         result,
         seed=scenario.policy.seed,
-        scenario_hash=scenario.content_hash(),
-        wall_time_seconds=time.perf_counter() - start,
+        scenario_hash=scenario_hash,
+        wall_time_seconds=wall_time,
         warnings=tuple(notes),
+        details=details,
     )
+
+
+def _profile_phases(snapshot: obs.TelemetrySnapshot) -> Dict[str, float]:
+    """The historical ``{setup,kernel,merge}_seconds`` profile payload,
+    read off the engine's top-level spans."""
+    phases: Dict[str, float] = {}
+    for name in ("setup", "kernel", "merge"):
+        record = snapshot.spans.get(name)
+        if record is not None:
+            phases[f"{name}_seconds"] = record[1]
+    return phases
 
 
 # ---------------------------------------------------------------------------
 # Point estimates
 # ---------------------------------------------------------------------------
-
-
-class _PhaseTimer:
-    """Setup/kernel/merge wall-time breakdown for ``profile=True`` runs.
-
-    ``checkpoint(name)`` charges the time since the previous checkpoint
-    to ``name_seconds``; a disabled timer costs one branch per call, so
-    the default path does no timing work.
-    """
-
-    def __init__(self, enabled: bool) -> None:
-        self.enabled = enabled
-        self.phases: Dict[str, float] = {}
-        self._last = time.perf_counter() if enabled else 0.0
-
-    def checkpoint(self, name: str) -> None:
-        if not self.enabled:
-            return
-        now = time.perf_counter()
-        key = f"{name}_seconds"
-        self.phases[key] = self.phases.get(key, 0.0) + (now - self._last)
-        self._last = now
 
 
 def _analytic_mttdl_hours(scenario: Scenario) -> tuple:
@@ -168,10 +235,8 @@ def _analytic_mttdl_hours(scenario: Scenario) -> tuple:
     )
 
 
-def _run_point_estimate(
-    scenario: Scenario, profile: bool = False
-) -> StudyResult:
-    timer = _PhaseTimer(profile)
+def _run_point_estimate(scenario: Scenario) -> StudyResult:
+    tel = obs.current()
     spec = scenario.system
     policy = scenario.policy
     question = scenario.question
@@ -196,57 +261,65 @@ def _run_point_estimate(
         }
         return _deterministic_result(scenario, mttdl_hours, details)
 
-    backend, method = engine_backend_method(policy.engine)
-    timer.checkpoint("setup")
-    if question == "mttdl":
-        estimate = run_mttdl(
-            model=spec.model,
-            trials=policy.trials,
-            seed=policy.seed,
-            max_time=scenario.max_time_hours,
-            replicas=spec.replicas,
-            audits_per_year=spec.audits_per_year,
-            scheme=spec.scheme,
-            backend=backend,
-            target_relative_error=policy.target_relative_error,
-            max_trials=policy.max_trials,
-            method=method,
-            bias=policy.bias,
-            variance_reduction=policy.variance_reduction,
+    with tel.span("setup"):
+        backend, method = engine_backend_method(policy.engine)
+    if tel.enabled:
+        tel.event(
+            "engine_resolved",
+            data={
+                "engine": policy.engine,
+                "backend": backend,
+                "method": method,
+                "question": question,
+            },
         )
-        units = "hours"
-    else:
-        estimate = run_loss_probability(
-            model=spec.model,
-            mission_time=mission_hours,
-            trials=policy.trials,
-            seed=policy.seed,
-            replicas=spec.replicas,
-            audits_per_year=spec.audits_per_year,
-            scheme=spec.scheme,
-            backend=backend,
-            target_relative_error=policy.target_relative_error,
-            max_trials=policy.max_trials,
-            method=method,
-            bias=policy.bias,
-            variance_reduction=policy.variance_reduction,
+    with tel.span("kernel"):
+        if question == "mttdl":
+            estimate = run_mttdl(
+                model=spec.model,
+                trials=policy.trials,
+                seed=policy.seed,
+                max_time=scenario.max_time_hours,
+                replicas=spec.replicas,
+                audits_per_year=spec.audits_per_year,
+                scheme=spec.scheme,
+                backend=backend,
+                target_relative_error=policy.target_relative_error,
+                max_trials=policy.max_trials,
+                method=method,
+                bias=policy.bias,
+                variance_reduction=policy.variance_reduction,
+            )
+            units = "hours"
+        else:
+            estimate = run_loss_probability(
+                model=spec.model,
+                mission_time=mission_hours,
+                trials=policy.trials,
+                seed=policy.seed,
+                replicas=spec.replicas,
+                audits_per_year=spec.audits_per_year,
+                scheme=spec.scheme,
+                backend=backend,
+                target_relative_error=policy.target_relative_error,
+                max_trials=policy.max_trials,
+                method=method,
+                bias=policy.bias,
+                variance_reduction=policy.variance_reduction,
+            )
+            units = "probability"
+    with tel.span("merge"):
+        details: Dict[str, object] = {}
+        if (
+            policy.engine == "auto"
+            and policy.cross_check
+            and spec.replicas == 2
+            and spec.effective_scheme().is_replication
+        ):
+            details["cross_check"] = _cross_check(scenario, estimate)
+        return StudyResult.from_estimate(
+            question, policy.engine, estimate, units, details
         )
-        units = "probability"
-    timer.checkpoint("kernel")
-    details: Dict[str, object] = {}
-    if (
-        policy.engine == "auto"
-        and policy.cross_check
-        and spec.replicas == 2
-        and spec.effective_scheme().is_replication
-    ):
-        details["cross_check"] = _cross_check(scenario, estimate)
-    if profile:
-        timer.checkpoint("merge")
-        details["profile"] = dict(timer.phases)
-    return StudyResult.from_estimate(
-        question, policy.engine, estimate, units, details
-    )
 
 
 def _deterministic_result(
@@ -385,7 +458,8 @@ def _run_sweep(scenario: Scenario) -> StudyResult:
         return _sweep_result(scenario, "analytic", details)
 
     backend, method = engine_backend_method(policy.engine)
-    result, trials, censored = _simulated_sweep(scenario, backend, method)
+    with obs.current().span("kernel"):
+        result, trials, censored = _simulated_sweep(scenario, backend, method)
     details = {
         "parameter": result.parameter,
         "metric": spec.metric,
@@ -537,47 +611,61 @@ def _run_frontier(
     cache_dir: Optional[Union[str, Path]],
     transport: str = "pickle",
 ) -> StudyResult:
+    tel = obs.current()
     policy = scenario.policy
-    if policy.engine == "analytic":
-        backend, method = "batch", "auto"
-        refine = False
-    else:
-        backend, method = engine_backend_method(policy.engine)
-        refine = True
-    settings = EvaluationSettings(
-        mission_years=scenario.mission_years,
-        trials=policy.trials,
-        seed=policy.seed,
-        backend=backend,
-        target_relative_error=policy.target_relative_error,
-        max_trials=policy.max_trials,
-        method=method,
-    )
-    outcome = optimize(
-        scenario.space,
-        settings,
-        jobs=jobs,
-        cache_dir=cache_dir,
-        slack=scenario.slack,
-        refine_survivors=refine,
-        transport=transport,
-    )
-    recommended = None
-    if scenario.budget is not None or scenario.target_loss is not None:
-        recommended = recommend(
-            outcome.frontier,
-            budget=scenario.budget,
-            target_loss=scenario.target_loss,
+    with tel.span("setup"):
+        if policy.engine == "analytic":
+            backend, method = "batch", "auto"
+            refine = False
+        else:
+            backend, method = engine_backend_method(policy.engine)
+            refine = True
+        settings = EvaluationSettings(
+            mission_years=scenario.mission_years,
+            trials=policy.trials,
+            seed=policy.seed,
+            backend=backend,
+            target_relative_error=policy.target_relative_error,
+            max_trials=policy.max_trials,
+            method=method,
         )
-    details: Dict[str, object] = {
-        "space": scenario.space.as_dict(),
-        "settings": settings.as_dict(),
-        "budget": scenario.budget,
-        "target_loss": scenario.target_loss,
-        "summary": outcome.summary(),
-        "frontier": [e.as_dict() for e in outcome.frontier],
-        "recommended": recommended.as_dict() if recommended else None,
-    }
+    if tel.enabled:
+        tel.event(
+            "engine_resolved",
+            data={
+                "engine": policy.engine,
+                "backend": backend,
+                "method": method,
+                "question": "frontier",
+            },
+        )
+    with tel.span("kernel"):
+        outcome = optimize(
+            scenario.space,
+            settings,
+            jobs=jobs,
+            cache_dir=cache_dir,
+            slack=scenario.slack,
+            refine_survivors=refine,
+            transport=transport,
+        )
+        recommended = None
+        if scenario.budget is not None or scenario.target_loss is not None:
+            recommended = recommend(
+                outcome.frontier,
+                budget=scenario.budget,
+                target_loss=scenario.target_loss,
+            )
+    with tel.span("merge"):
+        details: Dict[str, object] = {
+            "space": scenario.space.as_dict(),
+            "settings": settings.as_dict(),
+            "budget": scenario.budget,
+            "target_loss": scenario.target_loss,
+            "summary": outcome.summary(),
+            "frontier": [e.as_dict() for e in outcome.frontier],
+            "recommended": recommended.as_dict() if recommended else None,
+        }
     if recommended is not None:
         simulated = recommended.simulated
         return StudyResult(
@@ -615,28 +703,25 @@ def _run_fleet(
     jobs: int,
     cache_dir: Optional[Union[str, Path]],
     transport: str = "pickle",
-    profile: bool = False,
 ) -> StudyResult:
-    timer = _PhaseTimer(profile)
-    timeline = scenario.timeline
-    members = scenario.members
-    timer.checkpoint("setup")
-    outcome = simulate_fleet(
-        timeline,
-        members=members,
-        seed=scenario.policy.seed,
-        jobs=jobs,
-        chunk_size=scenario.chunk_size,
-        cache_dir=cache_dir,
-        transport=transport,
-    )
-    timer.checkpoint("kernel")
-    estimate = outcome.loss_estimate()
-    low, high = estimate.confidence_interval()
-    details = outcome.as_dict()
-    if profile:
-        timer.checkpoint("merge")
-        details["profile"] = dict(timer.phases)
+    tel = obs.current()
+    with tel.span("setup"):
+        timeline = scenario.timeline
+        members = scenario.members
+    with tel.span("kernel"):
+        outcome = simulate_fleet(
+            timeline,
+            members=members,
+            seed=scenario.policy.seed,
+            jobs=jobs,
+            chunk_size=scenario.chunk_size,
+            cache_dir=cache_dir,
+            transport=transport,
+        )
+    with tel.span("merge"):
+        estimate = outcome.loss_estimate()
+        low, high = estimate.confidence_interval()
+        details = outcome.as_dict()
     return StudyResult(
         question="fleet_survival",
         engine=scenario.policy.engine,

@@ -296,6 +296,7 @@ def _render_frontier(scenario: Scenario, result: StudyResult) -> str:
                 "refined by simulation": summary["refined"],
                 "new evaluations": summary["new_evaluations"],
                 "cache hits": summary["cache_hits"],
+                "cache errors": summary.get("cache_errors", 0),
             },
             title="search effort",
         )
@@ -374,6 +375,7 @@ def _render_fleet(scenario: Scenario, result: StudyResult) -> str:
                 "chunks": summary["chunks"],
                 "new chunks": summary["new_chunks"],
                 "cache hits": summary["cache_hits"],
+                "cache errors": summary.get("cache_errors", 0),
             },
             title="execution",
         )

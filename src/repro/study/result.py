@@ -65,9 +65,14 @@ class StudyResult:
         scenario_hash: content hash of the scenario (the cache key).
         wall_time_seconds: wall-clock cost of the run.
         schema: serialised-layout version (:data:`SCHEMA_VERSION`).
-        warnings: estimator warnings (e.g. high censoring), verbatim.
+        warnings: estimator warnings (e.g. high censoring),
+            deduplicated, verbatim.
         details: question-specific payload (series, frontier rows,
-            curves, cross-check values, execution counters).
+            curves, cross-check values, execution counters).  Runs with
+            a caller-supplied telemetry registry also carry the
+            registry's snapshot under ``details["telemetry"]`` (see
+            :attr:`telemetry`), and ``profile=True`` runs carry the
+            phase breakdown under ``details["profile"]``.
     """
 
     question: str
@@ -210,6 +215,17 @@ class StudyResult:
         else:
             text = source
         return StudyResult.from_dict(json.loads(text))
+
+    @property
+    def telemetry(self) -> Optional[Dict[str, object]]:
+        """The run's telemetry snapshot, when one was recorded.
+
+        Present only when the caller passed a live registry to
+        :func:`repro.study.run` via ``telemetry=``; rebuild the typed
+        form with ``repro.obs.TelemetrySnapshot.from_dict(...)``.
+        """
+        payload = self.details.get("telemetry")
+        return payload if isinstance(payload, dict) else None
 
     @property
     def cache_key(self) -> str:

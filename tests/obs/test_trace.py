@@ -1,0 +1,186 @@
+"""The JSONL flight recorder: envelope schema, validation, summaries."""
+
+import json
+import math
+
+import pytest
+
+from repro import obs
+from repro.obs.trace import iter_trace, sanitize
+
+
+class TestWriter:
+    def test_records_carry_the_envelope(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with obs.TraceWriter(path) as writer:
+            writer.emit("study_start", data={"seed": 7})
+            writer.emit("study_end", timing={"total_seconds": 0.5})
+        records = obs.read_trace(path)
+        assert [r["event"] for r in records] == ["study_start", "study_end"]
+        assert [r["seq"] for r in records] == [0, 1]
+        assert all(r["schema"] == obs.TRACE_SCHEMA_VERSION for r in records)
+        assert records[0]["data"] == {"seed": 7}
+        assert records[0]["timing"] == {}
+        assert records[1]["timing"] == {"total_seconds": 0.5}
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "trace.jsonl"
+        with obs.TraceWriter(path) as writer:
+            writer.emit("ping")
+        assert obs.validate_trace(path) == 1
+
+    def test_writes_to_an_open_handle(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with path.open("w", encoding="utf-8") as handle:
+            writer = obs.TraceWriter(handle)
+            writer.emit("ping")
+            writer.close()
+            handle.write("")  # the writer must not have closed our handle
+        assert obs.validate_trace(path) == 1
+
+    def test_non_finite_floats_sanitise_to_null(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with obs.TraceWriter(path) as writer:
+            writer.emit(
+                "estimate",
+                data={"mean": math.inf, "nested": {"x": [math.nan, 1.0]}},
+            )
+        record = obs.read_trace(path)[0]
+        assert record["data"]["mean"] is None
+        assert record["data"]["nested"]["x"] == [None, 1.0]
+
+    def test_sanitize_leaves_finite_values_alone(self):
+        payload = {"a": 1.5, "b": [2, "s"], "c": {"d": True}}
+        assert sanitize(payload) == {"a": 1.5, "b": [2, "s"], "c": {"d": True}}
+
+
+class TestValidation:
+    def _write(self, path, records):
+        path.write_text(
+            "".join(json.dumps(r) + "\n" for r in records), encoding="utf-8"
+        )
+
+    def _record(self, seq, event="ping", **overrides):
+        record = {
+            "schema": obs.TRACE_SCHEMA_VERSION,
+            "seq": seq,
+            "event": event,
+            "data": {},
+            "timing": {},
+        }
+        record.update(overrides)
+        return record
+
+    def test_missing_key_rejected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        record = self._record(0)
+        del record["timing"]
+        self._write(path, [record])
+        with pytest.raises(obs.TraceSchemaError, match="missing keys"):
+            obs.validate_trace(path)
+
+    def test_wrong_schema_version_rejected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        self._write(path, [self._record(0, schema=99)])
+        with pytest.raises(obs.TraceSchemaError, match="schema"):
+            obs.validate_trace(path)
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("{not json\n", encoding="utf-8")
+        with pytest.raises(obs.TraceSchemaError, match="line 1"):
+            obs.validate_trace(path)
+
+    def test_dropped_line_rejected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        self._write(path, [self._record(0), self._record(2)])
+        with pytest.raises(obs.TraceSchemaError, match="breaks the run"):
+            obs.validate_trace(path)
+
+    def test_appended_writer_runs_validate(self, tmp_path):
+        # Two CLI invocations appending to one file each restart seq at
+        # 0; the validator accepts each run independently.
+        path = tmp_path / "t.jsonl"
+        for _ in range(2):
+            with obs.TraceWriter(path) as writer:
+                writer.emit("study_start")
+                writer.emit("study_end")
+        assert obs.validate_trace(path) == 4
+
+    def test_iter_trace_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            json.dumps(self._record(0)) + "\n\n", encoding="utf-8"
+        )
+        assert len(list(iter_trace(path))) == 1
+
+
+class TestSummary:
+    def _trace(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with obs.TraceWriter(path) as writer:
+            writer.emit(
+                "study_start",
+                data={
+                    "question": "mttdl",
+                    "engine": "auto",
+                    "seed": 3,
+                    "content_hash": "abc123def456",
+                },
+            )
+            for outcome in ("miss", "miss", "hit", "store"):
+                writer.emit("cache", data={"outcome": outcome})
+            for error in (0.8, 0.4, 0.1):
+                writer.emit("pilot_round", data={"relative_error": error})
+            writer.emit("escalation", data={"to": "is"})
+            writer.emit(
+                "study_end",
+                timing={
+                    "total_seconds": 2.0,
+                    "spans": {"kernel": 1.5, "setup": 0.25, "merge": 0.25},
+                },
+            )
+        return path
+
+    def test_summary_digest(self, tmp_path):
+        summary = obs.summarize_trace(self._trace(tmp_path))
+        assert summary["records"] == 10
+        assert summary["studies"] == [
+            {
+                "question": "mttdl",
+                "engine": "auto",
+                "seed": 3,
+                "content_hash": "abc123def456",
+            }
+        ]
+        assert summary["cache"] == {
+            "hits": 1, "misses": 2, "stores": 1, "errors": 0,
+        }
+        assert summary["cache_hit_rate"] == pytest.approx(1 / 3)
+        assert summary["spans"]["kernel"] == 1.5
+        assert summary["total_seconds"] == 2.0
+        assert summary["pilot_relative_errors"] == [0.8, 0.4, 0.1]
+        assert summary["escalations"] == ["is"]
+
+    def test_render_shows_the_headline_numbers(self, tmp_path):
+        text = obs.render(obs.summarize_trace(self._trace(tmp_path)))
+        assert "mttdl via auto" in text
+        assert "kernel" in text and "75.0%" in text
+        assert "hit rate 33.3%" in text
+        assert "escalations: is" in text
+        assert obs.sparkline([0.8, 0.4, 0.1]) in text
+
+
+class TestSparkline:
+    def test_maps_range_onto_levels(self):
+        line = obs.sparkline([0.0, 1.0])
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_none_becomes_a_space(self):
+        assert obs.sparkline([0.0, None, 1.0])[1] == " "
+
+    def test_flat_series_is_low(self):
+        assert obs.sparkline([2.0, 2.0]) == "▁▁"
+
+    def test_empty(self):
+        assert obs.sparkline([]) == ""

@@ -538,3 +538,76 @@ class TestFleetCommand:
     def test_unknown_medium_is_an_error(self, capsys):
         assert main(["fleet", "--medium", "drive:floppy"]) == 2
         assert "unknown medium" in capsys.readouterr().err
+
+
+class TestTelemetry:
+    def _simulate(self, trace_path, extra=()):
+        return main([
+            "simulate", "--trials", "300", "--seed", "3",
+            "--max-time", "1e6", "--telemetry", str(trace_path), *extra,
+        ])
+
+    def test_telemetry_writes_a_valid_trace(self, capsys, tmp_path):
+        from repro import obs
+
+        path = tmp_path / "trace.jsonl"
+        assert self._simulate(path) == 0
+        capsys.readouterr()
+        assert obs.validate_trace(path) > 0
+        events = [record["event"] for record in obs.read_trace(path)]
+        assert events[0] == "study_start"
+        assert events[-1] == "study_end"
+
+    def test_telemetry_does_not_change_the_answer(self, capsys, tmp_path):
+        assert main([
+            "simulate", "--trials", "300", "--seed", "3",
+            "--max-time", "1e6", "--json",
+        ]) == 0
+        plain = json.loads(capsys.readouterr().out)
+        assert self._simulate(tmp_path / "t.jsonl", ("--json",)) == 0
+        traced = json.loads(capsys.readouterr().out)
+        # The traced run additionally carries the telemetry payload.
+        assert "telemetry" in traced["result"]["details"]
+        del traced["result"]["details"]["telemetry"]
+        assert _without_wall_time(traced) == _without_wall_time(plain)
+
+    def test_trace_subcommand_summarises(self, capsys, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        assert self._simulate(path) == 0
+        capsys.readouterr()
+        assert main(["trace", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "study run" in output
+        assert "phase latency" in output
+        assert "kernel" in output
+
+    def test_trace_subcommand_json(self, capsys, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        assert self._simulate(path) == 0
+        capsys.readouterr()
+        assert main(["trace", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "trace"
+        assert payload["summary"]["records"] > 0
+        assert payload["summary"]["studies"][0]["question"] == "mttdl"
+
+    def test_trace_missing_file_is_an_error(self, capsys):
+        assert main(["trace", "/nonexistent/trace.jsonl"]) == 2
+        assert "trace file not found" in capsys.readouterr().err
+
+    def test_trace_malformed_file_is_an_error(self, capsys, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        path.write_text("{not json\n", encoding="utf-8")
+        assert main(["trace", str(path)]) == 2
+        assert "invalid JSON" in capsys.readouterr().err
+
+    def test_optimize_profile_flag(self, capsys):
+        assert main([
+            "optimize", "--budget", "500000", "--trials", "200",
+            "--media", "drive:cheetah", "--replicas", "2",
+            "--audit-rates", "12", "--json", "--profile",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["result"]["details"]["profile"]) == {
+            "setup_seconds", "kernel_seconds", "merge_seconds",
+        }
