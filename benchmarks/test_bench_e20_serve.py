@@ -1,0 +1,199 @@
+"""Experiment E20: the serve layer's hot-path economics.
+
+The serve layer exists so repeated Scenario questions stop paying the
+engine: a persisted answer is a file read, an in-flight duplicate is a
+future share, and compatible cold misses ride one vectorized kernel.
+This benchmark measures that claim as a ratio with units that cancel:
+
+* **cold latency** — one cold ``loss_probability`` query, engine and
+  all (seconds per query);
+* **hot throughput** — a 95%-hit workload (5% distinct cold scenarios,
+  95% repeats) pushed through the service concurrently (queries per
+  second).
+
+The acceptance floor is ``throughput x cold_latency >= 50``: at a 95%
+hit mix, the service must answer at least 50 queries in the time one
+uncached engine run takes.  Single-flight gets its own assertion —
+N identical concurrent submissions must trigger exactly one engine run,
+checked against the service's own telemetry counters.
+
+Results land in ``BENCH_e20.json``.
+"""
+
+import asyncio
+from pathlib import Path
+
+from _harness import time_best_of, write_artifact
+from repro.analysis.tables import format_dict
+from repro.core.parameters import FaultModel
+from repro.serve import ResultStore, StudyService
+from repro.study import EstimatorPolicy, Scenario, SystemSpec
+
+ARTIFACT = Path(__file__).parent / "BENCH_e20.json"
+
+#: Compressed-time operating point: losses are common at sub-year
+#: missions, so the trial count — not rare-event waiting — sets the
+#: engine cost.
+MODEL = FaultModel(2500.0, 500.0, 1.0, 1.0, 25.0)
+
+#: Heavy enough that one cold run is honest engine work (a vectorized
+#: kernel pass), small enough that the benchmark stays in seconds.
+TRIALS = 50_000
+
+#: The hit-mix workload: DISTINCT cold scenarios, HOT_FACTOR repeats
+#: each → a 1/(HOT_FACTOR) miss rate = 5%.
+DISTINCT = 20
+HOT_FACTOR = 20
+
+#: The acceptance floor: hot queries answered per cold-latency unit.
+THROUGHPUT_FLOOR = 50.0
+
+SINGLE_FLIGHT_WAVE = 8
+
+
+def scenario(mission: float, seed: int = 7) -> Scenario:
+    return Scenario(
+        question="loss_probability",
+        system=SystemSpec(model=MODEL),
+        mission_years=mission,
+        policy=EstimatorPolicy(engine="batch", trials=TRIALS, seed=seed),
+    )
+
+
+def cold_latency_seconds(tmp_path: Path) -> float:
+    """One uncached query through the full service path, best of 3."""
+
+    def one_cold(run_index: int) -> float:
+        async def main():
+            service = StudyService(
+                store=ResultStore(tmp_path / f"cold{run_index}")
+            )
+            try:
+                await service.submit(scenario(mission=0.5))
+            finally:
+                await service.close()
+
+        asyncio.run(main())
+
+    best = float("inf")
+    for index in range(3):
+        _, seconds = time_best_of(lambda: one_cold(index), repeats=1)
+        best = min(best, seconds)
+    return best
+
+
+def hot_mix(tmp_path: Path):
+    """The 95%-hit workload; returns (elapsed, answers, counters)."""
+    missions = [0.1 + 0.1 * i for i in range(DISTINCT)]
+    workload = [m for m in missions for _ in range(HOT_FACTOR)]
+
+    async def main():
+        service = StudyService(store=ResultStore(tmp_path / "mix"))
+        try:
+            # Prime exactly one scenario so the first wave is not all
+            # cold, then fire the whole mixed workload concurrently:
+            # repeats of in-flight misses share futures, distinct cold
+            # misses coalesce onto batched kernel runs.
+            await service.submit(scenario(mission=missions[0]))
+            answers = await asyncio.gather(
+                *[service.submit(scenario(mission=m)) for m in workload]
+            )
+            return answers, service.telemetry.snapshot().counters
+        finally:
+            await service.close()
+
+    (answers, counters), elapsed = time_best_of(
+        lambda: asyncio.run(main()), repeats=1
+    )
+    return elapsed, answers, counters
+
+
+def single_flight_engine_runs() -> dict:
+    """N identical concurrent submissions; count actual engine runs."""
+
+    async def main():
+        service = StudyService(batch_window=None)  # no store, no batching
+        try:
+            s = scenario(mission=0.5)
+            await asyncio.gather(
+                *[service.submit(s) for _ in range(SINGLE_FLIGHT_WAVE)]
+            )
+            return service.telemetry.snapshot().counters
+        finally:
+            await service.close()
+
+    return asyncio.run(main())
+
+
+def test_e20_serve_hot_path(tmp_path, experiment_printer):
+    cold = cold_latency_seconds(tmp_path)
+
+    elapsed, answers, counters = hot_mix(tmp_path)
+    queries = len(answers)
+    throughput = queries / elapsed
+    ratio = throughput * cold
+
+    served = {"store": 0, "inflight": 0, "engine": 0}
+    for answer in answers:
+        served[answer.served_from] += 1
+
+    flight = single_flight_engine_runs()
+
+    # -- acceptance ---------------------------------------------------------
+    # The mix really was >= 95% non-engine answers...
+    assert served["engine"] <= DISTINCT
+    assert served["store"] + served["inflight"] >= queries - DISTINCT
+    # ... and the hot path clears the floor: >= 50 mixed queries per
+    # cold-latency unit.
+    assert ratio >= THROUGHPUT_FLOOR, (
+        f"hot-path ratio {ratio:.1f} below floor {THROUGHPUT_FLOOR}: "
+        f"throughput {throughput:.0f}/s, cold latency {cold * 1e3:.1f} ms"
+    )
+    # Single-flight: one engine run for the whole identical wave.
+    assert flight["serve.engine_runs"] == 1
+    assert flight["serve.singleflight.shared"] == SINGLE_FLIGHT_WAVE - 1
+
+    payload = {
+        "experiment": "e20_serve",
+        "model": MODEL.as_dict(),
+        "trials": TRIALS,
+        "workload": {
+            "distinct_scenarios": DISTINCT,
+            "repeats_per_scenario": HOT_FACTOR,
+            "queries": queries,
+            "served_from": served,
+            "batch_flushes": counters.get("serve.batch.flushes", 0),
+            "batched_members": counters.get("serve.batch.members", 0),
+            "engine_runs": counters.get("serve.engine_runs", 0),
+        },
+        "cold_latency_seconds": cold,
+        "hot_mix_seconds": elapsed,
+        "throughput_per_second": throughput,
+        "throughput_x_cold_latency": ratio,
+        "floor": THROUGHPUT_FLOOR,
+        "single_flight": {
+            "wave": SINGLE_FLIGHT_WAVE,
+            "engine_runs": flight["serve.engine_runs"],
+            "shared": flight["serve.singleflight.shared"],
+        },
+    }
+    write_artifact(ARTIFACT, payload)
+
+    experiment_printer(
+        "E20: serve hot path — throughput vs cold latency",
+        format_dict(
+            {
+                "cold latency (ms)": cold * 1e3,
+                "mixed queries": queries,
+                "hit mix (%)": 100.0
+                * (served["store"] + served["inflight"])
+                / queries,
+                "hot throughput (queries/s)": throughput,
+                "throughput x cold latency": ratio,
+                "floor": THROUGHPUT_FLOOR,
+                "engine runs in mix": counters.get("serve.engine_runs", 0),
+                "single-flight engine runs": flight["serve.engine_runs"],
+            },
+            title="serve layer economics",
+        ),
+    )

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Quickstart: the serve layer — memoized Scenario answers as a service.
+
+Run with::
+
+    python examples/serve_quickstart.py
+
+This drives :class:`repro.serve.StudyService` in-process (no sockets
+needed) through the three behaviours that make it a cache and not just
+an RPC wrapper:
+
+1. a **cold** query pays the engine, and its answer is persisted in a
+   :class:`repro.serve.ResultStore` keyed by the scenario's content;
+2. a repeated query is a **store hit** — a file read, not a simulation;
+3. identical **concurrent** queries share one in-flight engine run
+   (single-flight), and compatible cold misses coalesce onto one
+   vectorized kernel invocation (batching).
+
+The same service fronts HTTP when started as ``python -m repro.cli
+serve``; see the README's "Study service" section for the curl version
+of this walkthrough.
+
+``REPRO_EXAMPLE_SCALE`` (a multiplier in (0, 1], used by the CI smoke
+run) shrinks the trial counts.
+"""
+
+import asyncio
+import os
+import tempfile
+import time
+
+from repro.core.parameters import FaultModel
+from repro.serve import ResultStore, StudyService
+from repro.study import EstimatorPolicy, Scenario, SystemSpec
+
+_SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "1.0"))
+TRIALS = max(500, int(40_000 * _SCALE))
+
+#: A compressed-time model (hours-scale faults) so the walkthrough
+#: answers in seconds while still exercising the real batch kernel.
+MODEL = FaultModel(
+    mean_time_to_visible=2500.0,
+    mean_time_to_latent=500.0,
+    mean_repair_visible=1.0,
+    mean_repair_latent=1.0,
+    mean_detect_latent=25.0,
+)
+
+
+def scenario(mission_years: float) -> Scenario:
+    return Scenario(
+        question="loss_probability",
+        system=SystemSpec(model=MODEL),
+        mission_years=mission_years,
+        policy=EstimatorPolicy(engine="batch", trials=TRIALS, seed=11),
+    )
+
+
+async def walkthrough(store_dir: str) -> None:
+    service = StudyService(store=ResultStore(store_dir))
+    try:
+        print("== 1. Cold query: the engine runs, the answer persists ==\n")
+        start = time.perf_counter()
+        cold = await service.submit(scenario(0.5))
+        cold_seconds = time.perf_counter() - start
+        print(f"served_from : {cold.served_from}")
+        print(f"P(loss)     : {cold.result.value:.4f} "
+              f"+/- {cold.result.std_error:.4f}")
+        print(f"hash        : {cold.scenario_hash}")
+        print(f"latency     : {cold_seconds * 1e3:.1f} ms")
+
+        print("\n== 2. Same question again: a store hit ==\n")
+        start = time.perf_counter()
+        hot = await service.submit(scenario(0.5))
+        hot_seconds = time.perf_counter() - start
+        print(f"served_from : {hot.served_from}")
+        print(f"identical   : {hot.result.value == cold.result.value}")
+        print(f"latency     : {hot_seconds * 1e3:.2f} ms "
+              f"({cold_seconds / max(hot_seconds, 1e-9):,.0f}x faster)")
+
+        print("\n== 3. Concurrency: single-flight and batching ==\n")
+        # Four repeats of one NEW scenario plus three more new missions,
+        # all submitted at once: the repeats share one in-flight future,
+        # and the four distinct missions ride one batched kernel run.
+        wave = [1.0, 1.0, 1.0, 1.0, 0.25, 0.75, 1.5]
+        answers = await asyncio.gather(
+            *[service.submit(scenario(m)) for m in wave]
+        )
+        by_mission = dict(zip(wave, answers))
+        for mission, answer in sorted(by_mission.items()):
+            print(f"mission {mission:4g} yr : P(loss) = "
+                  f"{answer.result.value:.4f}  [{answer.served_from}]")
+
+        counters = service.telemetry.snapshot().counters
+        print(f"\nengine runs           : "
+              f"{counters.get('serve.engine_runs', 0):g} "
+              f"(for {1 + 1 + len(wave)} submissions)")
+        print(f"single-flight shares  : "
+              f"{counters.get('serve.singleflight.shared', 0):g}")
+        print(f"batched kernel members: "
+              f"{counters.get('serve.batch.members', 0):g}")
+        print(f"store hits            : "
+              f"{counters.get('cache.serve.hit', 0):g}")
+    finally:
+        await service.close()
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as store_dir:
+        asyncio.run(walkthrough(store_dir))
+    print("\nThe HTTP front end serves the same service:\n"
+          "    python -m repro.cli serve --port 8750 &\n"
+          "    curl -s localhost:8750/healthz\n"
+          "    curl -s -X POST localhost:8750/query -d @scenario.json\n"
+          "    curl -s localhost:8750/metrics | head")
+
+
+if __name__ == "__main__":
+    main()

@@ -355,6 +355,63 @@ def _cmd_trace(args: argparse.Namespace) -> str:
     return obs.render(summary)
 
 
+def _cmd_serve(args: argparse.Namespace) -> str:
+    import asyncio
+
+    from repro.serve import ResultStore, StudyService, serve_lines, start_server
+
+    if args.batch_window < 0:
+        raise ValueError("--batch-window must be non-negative")
+    store = ResultStore(args.cache_dir) if args.cache_dir else None
+
+    async def _run_service() -> int:
+        service = StudyService(
+            store=store,
+            jobs=args.jobs,
+            batch_window=args.batch_window / 1000.0,
+            max_batch=args.max_batch,
+        )
+        try:
+            if args.stdio:
+                loop = asyncio.get_running_loop()
+                reader = asyncio.StreamReader()
+                await loop.connect_read_pipe(
+                    lambda: asyncio.StreamReaderProtocol(reader), sys.stdin
+                )
+
+                def write(line: str) -> None:
+                    sys.stdout.write(line)
+                    sys.stdout.flush()
+
+                print("serving on stdio", file=sys.stderr, flush=True)
+                return await serve_lines(service, reader, write)
+            server = await start_server(service, args.host, args.port)
+            address = server.sockets[0].getsockname()
+            # The readiness line goes to stderr so stdout stays clean
+            # for machine consumers; smoke harnesses wait for it.
+            print(
+                f"serving on http://{address[0]}:{address[1]}",
+                file=sys.stderr,
+                flush=True,
+            )
+            async with server:
+                await server.serve_forever()
+            return 0
+        finally:
+            await service.close()
+
+    try:
+        requests = asyncio.run(_run_service())
+    except KeyboardInterrupt:
+        return "server stopped"
+    if args.stdio:
+        # Stdout is the JSON-lines response stream; the summary must
+        # not pollute it.
+        print(f"served {requests} requests", file=sys.stderr, flush=True)
+        return ""
+    return f"served {requests} requests"
+
+
 def _cmd_fleet(args: argparse.Namespace) -> str:
     scenario = study.Scenario(
         question="fleet_survival",
@@ -586,6 +643,35 @@ def build_parser() -> argparse.ArgumentParser:
                        "in the result details")
     fleet.set_defaults(handler=_cmd_fleet)
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the Scenario→StudyResult query service (HTTP + "
+        "persistent result store; POST Scenario JSON to /query, scrape "
+        "/metrics)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="interface to bind (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8750,
+                       help="TCP port (default: 8750; 0 picks a free one)")
+    serve.add_argument("--cache-dir", default=None,
+                       help="directory for the persistent result store "
+                       "(default: no store — single-flight and batching "
+                       "only)")
+    serve.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for engines that parallelise "
+                       "internally (default: 1)")
+    serve.add_argument("--stdio", action="store_true",
+                       help="serve JSON-lines requests on stdin/stdout "
+                       "instead of HTTP (one request object per line)")
+    serve.add_argument("--batch-window", type=float, default=2.0,
+                       help="milliseconds to hold a compatible batch group "
+                       "open for companions before flushing to one kernel "
+                       "invocation (default: 2)")
+    serve.add_argument("--max-batch", type=int, default=64,
+                       help="flush a batch group immediately at this many "
+                       "members (default: 64)")
+    serve.set_defaults(handler=_cmd_serve)
+
     trace = subparsers.add_parser(
         "trace",
         parents=[json_parent],
@@ -608,7 +694,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    print(output)
+    if output:
+        print(output)
     return 0
 
 

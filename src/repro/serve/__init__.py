@@ -1,0 +1,69 @@
+"""repro.serve — the high-QPS Scenario→StudyResult query service.
+
+The ROADMAP's "millions of users" tier: a long-running service that
+answers declarative :class:`~repro.study.scenario.Scenario` queries
+from a shared, persistent result store — archival reliability as a
+*queryable service* (Marshall et al.'s service-model framing) whose
+answers stay re-derivable forever (content-hashed, schema-versioned
+entries, after Gladney & Lorie).
+
+Layers, cheapest first:
+
+* :class:`ResultStore` (``store.py``) — persistent question-keyed
+  answers: exact engines memoize forever, stochastic answers hit while
+  their achieved relative error satisfies the caller's demand and are
+  transparently refreshed when a tighter one arrives;
+* single-flight deduplication + the batching queue
+  (:class:`StudyService`, ``service.py`` / ``batch.py``) — identical
+  in-flight scenarios share one computation, and compatible plain-batch
+  loss questions share one vectorized kernel invocation;
+* the transports (``server.py`` / ``client.py``) — HTTP on stdlib
+  asyncio streams (``/query``, ``/query/stream``, ``/healthz``,
+  ``/metrics`` in Prometheus text format) plus a stdio JSON-lines mode,
+  and an :mod:`http.client` helper.
+
+Quick start (see ``examples/serve_quickstart.py`` and the CLI's
+``serve`` sub-command)::
+
+    import asyncio
+    from repro.serve import ResultStore, StudyService
+
+    async def main():
+        service = StudyService(store=ResultStore("store/"))
+        answer = await service.submit(scenario)   # "engine": computed
+        answer = await service.submit(scenario)   # "store": cache hit
+        await service.close()
+
+    asyncio.run(main())
+"""
+
+from repro.serve.batch import batchable, group_key, run_group
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.server import (
+    ANSWER_SCHEMA_VERSION,
+    serve_lines,
+    start_server,
+)
+from repro.serve.service import ProgressCallback, ServeAnswer, StudyService
+from repro.serve.store import (
+    ENTRY_SCHEMA_VERSION,
+    ResultStore,
+    question_key,
+)
+
+__all__ = [
+    "ANSWER_SCHEMA_VERSION",
+    "ENTRY_SCHEMA_VERSION",
+    "ProgressCallback",
+    "ResultStore",
+    "ServeAnswer",
+    "ServeClient",
+    "ServeError",
+    "StudyService",
+    "batchable",
+    "group_key",
+    "question_key",
+    "run_group",
+    "serve_lines",
+    "start_server",
+]

@@ -72,6 +72,11 @@ def render_text(scenario: Scenario, result: StudyResult) -> str:
     profile = result.details.get("profile")
     if profile:
         text += "\n\n" + format_dict(profile, title="profile (wall time)")
+    if result.scenario_hash:
+        # The content hash is the key every cache — and the serve
+        # layer's result store — files this answer under; printing it
+        # lets interactive runs be correlated with server store entries.
+        text += f"\nscenario hash: {result.scenario_hash}"
     for note in result.warnings:
         text += f"\nwarning: {note}"
     return text

@@ -1,0 +1,233 @@
+"""The HTTP and stdio transports in front of StudyService.
+
+Blocking-client calls (``ServeClient`` wraps ``http.client``) must run
+off the event loop via ``run_in_executor`` — calling them inline from a
+coroutine would block the loop the server itself runs on.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.parameters import FaultModel
+from repro.serve import (
+    ANSWER_SCHEMA_VERSION,
+    ResultStore,
+    ServeClient,
+    ServeError,
+    StudyService,
+    serve_lines,
+    start_server,
+)
+from repro.serve.server import _scenario_from_body
+from repro.study import EstimatorPolicy, Scenario, SystemSpec
+
+MODEL = FaultModel(2500.0, 500.0, 1.0, 1.0, 25.0)
+
+
+def scenario_dict(mission=0.5, trials=300, seed=3, engine="batch"):
+    return Scenario(
+        question="loss_probability",
+        system=SystemSpec(model=MODEL),
+        mission_years=mission,
+        policy=EstimatorPolicy(engine=engine, trials=trials, seed=seed),
+    ).as_dict()
+
+
+def with_server(test_body, store=None):
+    """Run ``await test_body(client)`` against a live server on port 0."""
+
+    async def main():
+        service = StudyService(store=store)
+        server = await start_server(service, port=0)
+        port = server.sockets[0].getsockname()[1]
+        client = ServeClient(port=port)
+        loop = asyncio.get_running_loop()
+
+        def call(fn, *args, **kwargs):
+            return loop.run_in_executor(None, lambda: fn(*args, **kwargs))
+
+        try:
+            return await test_body(client, call, service)
+        finally:
+            server.close()
+            await server.wait_closed()
+            await service.close()
+
+    return asyncio.run(main())
+
+
+# ---------------------------------------------------------------------------
+# HTTP routes
+# ---------------------------------------------------------------------------
+
+
+def test_healthz_and_metrics():
+    async def body(client, call, service):
+        assert await call(client.health)
+        text = await call(client.metrics)
+        return text
+
+    text = with_server(body)
+    # The service registry is live from construction; a scrape before
+    # any query still renders (possibly empty) valid exposition text.
+    for line in text.splitlines():
+        assert line.startswith("# TYPE") or " " in line
+
+
+def test_query_cold_then_hot(tmp_path):
+    async def body(client, call, service):
+        cold = await call(client.query, scenario_dict())
+        hot = await call(client.query, scenario_dict())
+        metrics = await call(client.metrics)
+        return cold, hot, metrics
+
+    cold, hot, metrics = with_server(body, store=ResultStore(tmp_path))
+    assert cold["schema"] == ANSWER_SCHEMA_VERSION
+    assert cold["served_from"] == "engine"
+    assert hot["served_from"] == "store"
+    assert hot["result"] == cold["result"]
+    assert len(cold["scenario_hash"]) == 32
+    assert cold["result"]["question"] == "loss_probability"
+    assert "repro_serve_requests_total 2" in metrics
+    assert "repro_cache_serve_hit_total 1" in metrics
+
+
+def test_query_accepts_wrapped_scenario_envelope(tmp_path):
+    async def body(client, call, service):
+        # The CLI's render_json envelope wraps the scenario; POSTing it
+        # back verbatim must work.
+        envelope = {"command": "study", "scenario": scenario_dict()}
+        return await call(client.query, envelope)
+
+    answer = with_server(body, store=ResultStore(tmp_path))
+    assert answer["served_from"] == "engine"
+
+
+def test_bad_request_is_a_400_not_a_crash():
+    async def body(client, call, service):
+        with pytest.raises(ServeError) as bad_json:
+            await call(client.query, {"question": "no_such_question"})
+        # The connection survives the error: a good query still works.
+        answer = await call(client.query, scenario_dict())
+        return bad_json.value, answer
+
+    error, answer = with_server(body)
+    assert error.status == 400
+    assert "invalid scenario" in str(error)
+    assert answer["served_from"] == "engine"
+
+
+def test_unknown_route_is_404():
+    async def body(client, call, service):
+        def raw_get():
+            conn = client._connect()
+            try:
+                conn.request("GET", "/nope")
+                response = conn.getresponse()
+                return response.status, response.read()
+            finally:
+                conn.close()
+
+        return await call(raw_get)
+
+    status, payload = with_server(body)
+    assert status == 404
+    assert b"no route" in payload
+
+
+def test_stream_query_yields_progress_then_result():
+    events = []
+
+    async def body(client, call, service):
+        return await call(
+            client.query_stream, scenario_dict(engine="auto"), events.append
+        )
+
+    answer = with_server(body)
+    assert answer["served_from"] == "engine"
+    kinds = [record["event"] for record in events]
+    assert kinds[0] == "study_start"
+    assert kinds[-1] == "study_end"
+    assert "estimate" in kinds
+
+
+def test_scenario_from_body_rejects_garbage():
+    for garbage in (b"{ not json", b"[1, 2]", b'{"scenario": 7}'):
+        with pytest.raises(ValueError):
+            _scenario_from_body(garbage)
+
+
+# ---------------------------------------------------------------------------
+# stdio / JSON-lines mode
+# ---------------------------------------------------------------------------
+
+
+def run_stdio(lines):
+    """Feed request lines through serve_lines; return output records."""
+
+    async def main():
+        service = StudyService()
+        reader = asyncio.StreamReader()
+        for line in lines:
+            reader.feed_data((json.dumps(line) + "\n").encode("utf-8"))
+        reader.feed_eof()
+        out = []
+        count = await serve_lines(service, reader, out.append)
+        await service.close()
+        return count, [json.loads(line) for line in out]
+
+    return asyncio.run(main())
+
+
+def test_serve_lines_round_trip():
+    count, records = run_stdio(
+        [
+            {"id": "a", "scenario": scenario_dict()},
+            {"id": "b", "scenario": scenario_dict(mission=1.0)},
+            {"id": "oops", "scenario": {"question": "bogus"}},
+        ]
+    )
+    assert count == 3
+    by_id = {}
+    for record in records:
+        by_id.setdefault(record["id"], []).append(record)
+    assert by_id["a"][-1]["served_from"] in ("engine", "inflight")
+    assert by_id["b"][-1]["result"]["question"] == "loss_probability"
+    assert "error" in by_id["oops"][-1]
+
+
+def test_serve_lines_streamed_request_gets_progress_records():
+    count, records = run_stdio(
+        [{"id": 1, "scenario": scenario_dict(engine="auto"), "stream": True}]
+    )
+    assert count == 1
+    assert [r for r in records if r.get("event") == "study_start"]
+    final = records[-1]
+    assert final["id"] == 1
+    assert final["schema"] == ANSWER_SCHEMA_VERSION
+    assert "result" in final
+
+
+def test_serve_lines_identical_lines_share_one_engine_run():
+    request = {"id": None, "scenario": scenario_dict()}
+    lines = [dict(request, id=i) for i in range(4)]
+
+    async def main():
+        service = StudyService()
+        reader = asyncio.StreamReader()
+        for line in lines:
+            reader.feed_data((json.dumps(line) + "\n").encode("utf-8"))
+        reader.feed_eof()
+        out = []
+        await serve_lines(service, reader, out.append)
+        stats = service.telemetry.snapshot().counters
+        await service.close()
+        return [json.loads(line) for line in out], stats
+
+    records, stats = asyncio.run(main())
+    assert len(records) == 4
+    assert stats["serve.engine_runs"] == 1
+    values = {json.dumps(r["result"], sort_keys=True) for r in records}
+    assert len(values) == 1
